@@ -1,0 +1,120 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (Section 6) on the synthetic workloads.
+//
+// Usage:
+//
+//	experiments -all                     # everything, default scale
+//	experiments -table 2                 # one table
+//	experiments -figure 13               # one figure
+//	experiments -scale small -all        # quick run
+//	experiments -all -out EXPERIMENTS.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// parseInts parses a comma-separated list of integers, skipping blanks.
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(part); err == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		scale   = flag.String("scale", "default", "dataset scale: small or default")
+		table   = flag.Int("table", 0, "regenerate one table (1-7)")
+		figure  = flag.Int("figure", 0, "regenerate one figure (3,4,6,7,8,12,13,14,20)")
+		tables  = flag.String("tables", "", "comma-separated table numbers")
+		figures = flag.String("figures", "", "comma-separated figure numbers")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		out     = flag.String("out", "", "also write the report to this file")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		epochs  = flag.Int("epochs", 0, "override training epochs")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.SmallScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	if *epochs > 0 {
+		sc.Cfg.Epochs = *epochs
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating workloads (scale=%s, seed=%d)...\n", *scale, *seed)
+	env := experiments.NewEnv(sc)
+	fmt.Fprintf(os.Stderr, "workloads ready in %v: SDSS=%d items, SQLShare=%d items\n",
+		time.Since(start).Round(time.Millisecond), len(env.SDSS.Items), len(env.SQLShare.Items))
+
+	var report string
+	var err error
+	switch {
+	case *all:
+		report, err = experiments.RunAll(env)
+	case *table > 0:
+		report, err = experiments.RunTable(env, *table)
+	case *figure > 0:
+		report, err = experiments.RunFigure(env, *figure)
+	case *tables != "" || *figures != "":
+		var b strings.Builder
+		for _, n := range parseInts(*tables) {
+			text, terr := experiments.RunTable(env, n)
+			if terr != nil {
+				err = terr
+				break
+			}
+			b.WriteString(text + "\n")
+		}
+		if err == nil {
+			for _, n := range parseInts(*figures) {
+				text, ferr := experiments.RunFigure(env, n)
+				if ferr != nil {
+					err = ferr
+					break
+				}
+				b.WriteString(text + "\n")
+			}
+		}
+		report = b.String()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			os.Exit(1)
+		}
+	}
+}

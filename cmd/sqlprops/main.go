@@ -1,0 +1,100 @@
+// Command sqlprops analyzes a SQL statement and predicts its
+// properties prior to execution — the end-user experience the paper
+// motivates in Section 2. It trains the selected model on a freshly
+// generated SDSS-like workload (or reuses a tiny one for -fast), then
+// reports the statement's syntactic properties and predicted error
+// class, answer size, and CPU time.
+//
+// Usage:
+//
+//	sqlprops -query "SELECT * FROM PhotoObj WHERE r < 22"
+//	sqlprops -model ccnn -query "..."
+//	echo "SELECT ..." | sqlprops
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simdb"
+	"repro/internal/sqlparse"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		query    = flag.String("query", "", "SQL statement to analyze (default: read stdin)")
+		model    = flag.String("model", "ccnn", "prediction model (ctfidf, wtfidf, ccnn, wcnn, clstm, wlstm)")
+		sessions = flag.Int("sessions", 3000, "training workload size (sessions)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	stmt := *query
+	if stmt == "" {
+		sc := bufio.NewScanner(os.Stdin)
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		stmt = strings.Join(lines, "\n")
+	}
+	if strings.TrimSpace(stmt) == "" {
+		fmt.Fprintln(os.Stderr, "no query given")
+		os.Exit(2)
+	}
+
+	// Static analysis first: it needs no training.
+	f := sqlparse.ExtractFeatures(stmt)
+	fmt.Println("=== Syntactic analysis (Section 4.3.1 properties) ===")
+	fmt.Printf("statement type:        %s (parsed: %v)\n", f.StatementType, f.Parsed)
+	fmt.Printf("characters / words:    %d / %d\n", f.NumChars, f.NumWords)
+	fmt.Printf("functions / joins:     %d / %d\n", f.NumFunctions, f.NumJoins)
+	fmt.Printf("tables / select cols:  %d / %d\n", f.NumTables, f.NumSelectColumns)
+	fmt.Printf("predicates / columns:  %d / %d\n", f.NumPredicates, f.NumPredicateColumns)
+	fmt.Printf("nestedness / nest-agg: %d / %v\n", f.NestednessLevel, f.NestedAggregation)
+
+	fmt.Fprintf(os.Stderr, "\ntraining %s on a %d-session SDSS-like workload...\n", *model, *sessions)
+	gen := synth.NewSDSS(synth.SDSSConfig{Sessions: *sessions, HitsPerSessionMax: 2, Seed: *seed})
+	w := gen.Generate()
+	split := workload.RandomSplit(w.Items, 0.1, 0.1, rand.New(rand.NewSource(*seed)))
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 1
+
+	errModel, err := core.Train(*model, core.ErrorClassification, split.Train, cfg)
+	fatalIf(err)
+	ansModel, err := core.Train(*model, core.AnswerSizePrediction, split.Train, cfg)
+	fatalIf(err)
+	cpuModel, err := core.Train(*model, core.CPUTimePrediction, split.Train, cfg)
+	fatalIf(err)
+	elapsedModel, err := core.Train(*model, core.ElapsedTimePrediction, split.Train, cfg)
+	fatalIf(err)
+
+	fmt.Println("\n=== Predictions (prior to execution) ===")
+	probs := errModel.Probs(stmt)
+	cls := errModel.PredictClass(stmt)
+	fmt.Printf("error class:  %s  (severe=%.3f success=%.3f non_severe=%.3f)\n",
+		simdb.ErrorClass(cls), probs[0], probs[1], probs[2])
+	fmt.Printf("answer size:  ~%.0f rows\n", ansModel.PredictRaw(stmt))
+	fmt.Printf("CPU time:     ~%.3f seconds\n", cpuModel.PredictRaw(stmt))
+	fmt.Printf("elapsed time: ~%.3f seconds\n", elapsedModel.PredictRaw(stmt))
+
+	if cls != int(simdb.Success) {
+		fmt.Println("\nadvice: this statement is unlikely to run; check syntax and identifiers.")
+	} else if cpuModel.PredictRaw(stmt) > 60 {
+		fmt.Println("\nadvice: this looks expensive; consider a COUNT(*) probe first (Figure 1a).")
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Case study: the two sample queries of Section 6.3.3.
+//
+// Q1 is a long browser query (1,247 characters, 49 selected columns,
+// 3 function calls) joining three large tables; Q2 is shorter but
+// structurally more complex (nestedness 3, 5 functions). The paper
+// compares per-query predictions of ccnn and clstm: the CNN handles the
+// long Q1 well where the LSTM overshoots, and both do well on the
+// nested-but-short Q2. This example reruns that comparison.
+//
+//	go run ./examples/casestudy
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// q1 reconstructs Figure 15: a wide browser export over three tables.
+const q1 = `SELECT q.name AS qname, dbo.fDistanceArcMinEq(q.ra,q.dec,p.ra,p.dec), s.specobjid, s.bestobjid, s.ra, s.dec, s.z, s.zerr, s.zconf, s.specclass, s.plate, s.mjd, s.fiberid, p.objid, p.ra, p.dec, p.u, p.g, p.r, p.i, p.z, p.type, p.flags, p.status, p.mode, p.petror90_r, p.psfmag_r, p.extinction_r, p.run, p.rerun, p.camcol, p.field, p.modelmag_u, p.modelmag_g, p.flags_g, p.psfmagerr_u, p.psfmagerr_g, q.u, q.g, q.r, q.i, q.z, q.type, q.run, q.camcol, q.field, q.status, q.mode, q.flags FROM SpecObj AS s, mydb.QSOQuery1_DR5 AS q, PhotoObj AS p WHERE ((s.bestobjid=p.objid) AND (s.ra BETWEEN 185 AND 190) AND (s.dec BETWEEN 15 AND 20) AND (q.ra BETWEEN 185 AND 190)) ORDER BY q.ra`
+
+// q2 reconstructs Figure 16: short but deeply nested CasJobs query.
+const q2 = `SELECT j.target, cast(j.estimate AS varchar) AS queue FROM Jobs j, Users u, Status s,
+ (SELECT DISTINCT target, queue FROM Servers s1 WHERE s1.name NOT IN
+  (SELECT name FROM Servers s,
+    (SELECT target, min(queue) AS queue FROM Servers GROUP BY target) AS a
+   WHERE a.target = s.target)) b
+ WHERE j.outputtype LIKE '%QUERY%' AND j.uid = u.id AND j.status = s.id`
+
+func main() {
+	for name, q := range map[string]string{"Q1": q1, "Q2": q2} {
+		f := sqlparse.ExtractFeatures(q)
+		fmt.Printf("%s: chars=%d words=%d functions=%d joins=%d tables=%d nestedness=%d nested-agg=%v\n",
+			name, f.NumChars, f.NumWords, f.NumFunctions, f.NumJoins, f.NumTables,
+			f.NestednessLevel, f.NestedAggregation)
+	}
+
+	fmt.Println("\ntraining ccnn and clstm for CPU time and answer size...")
+	gen := synth.NewSDSS(synth.SDSSConfig{Sessions: 3000, HitsPerSessionMax: 2, Seed: 17})
+	w := gen.Generate()
+	split := workload.RandomSplit(w.Items, 0.1, 0.1, rand.New(rand.NewSource(17)))
+	cfg := core.TinyConfig()
+	cfg.Epochs = 2
+	cfg.CharMaxLen = 200 // Q1 is long; give the models more context
+
+	engine := gen.Engine()
+	for _, q := range []struct {
+		name, stmt string
+	}{{"Q1", q1}, {"Q2", q2}} {
+		truth := engine.Execute(q.stmt)
+		fmt.Printf("\n%s ground truth: error=%s answer=%d rows cpu=%.3f s\n",
+			q.name, truth.Error, truth.AnswerSize, truth.CPUTime)
+		for _, modelName := range []string{"ccnn", "clstm"} {
+			cpu, err := core.Train(modelName, core.CPUTimePrediction, split.Train, cfg)
+			must(err)
+			ans, err := core.Train(modelName, core.AnswerSizePrediction, split.Train, cfg)
+			must(err)
+			fmt.Printf("    %-6s predicts: answer ~%.0f rows, cpu ~%.2f s\n",
+				modelName, ans.PredictRaw(q.stmt), cpu.PredictRaw(q.stmt))
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

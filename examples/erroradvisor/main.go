@@ -1,0 +1,96 @@
+// Error advisor: the end-user scenario of Section 2.
+//
+// SDSS users lose time submitting queries that are rejected or fail at
+// the server. This example trains an error classifier on the workload
+// and acts as a pre-submission gate: statements predicted to fail are
+// flagged with the predicted failure mode before any server round trip.
+//
+//	go run ./examples/erroradvisor
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/simdb"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("training error classifier on SDSS-like workload...")
+	gen := synth.NewSDSS(synth.SDSSConfig{Sessions: 3500, HitsPerSessionMax: 2, Seed: 11})
+	w := gen.Generate()
+	split := workload.RandomSplit(w.Items, 0.1, 0.1, rand.New(rand.NewSource(11)))
+
+	cfg := core.TinyConfig()
+	cfg.Epochs = 2
+	model, err := core.Train("ctfidf", core.ErrorClassification, split.Train, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	ev := core.EvaluateClassifier(model, core.ErrorClassification, split.Test)
+	fmt.Printf("test accuracy %.4f; per-class F:", ev.Accuracy)
+	for _, cs := range ev.PerClass {
+		fmt.Printf(" %s=%.3f", simdb.ErrorClass(cs.Class), cs.F1)
+	}
+	fmt.Println()
+
+	// The advisor in action on a user's editing session.
+	drafts := []string{
+		"SELECT ra, dec FROM PhotoObj WHERE objid = 1237648720693755918",
+		"SELECT ra, dec FROM PhotoObj WHERE (r < 21 AND g < 22",   // unbalanced
+		"SELECT raa, dec FROM PhotoObj WHERE r < 21",              // typo column
+		"find all galaxies near m31",                              // not SQL
+		"SELECT TOP 10 objid FROM Galaxy ORDER BY r",
+	}
+	fmt.Println("\npre-submission check:")
+	for _, q := range drafts {
+		probs := model.Probs(q)
+		cls := simdb.ErrorClass(argmax(probs))
+		verdict := "looks good"
+		switch cls {
+		case simdb.Severe:
+			verdict = "REJECTED: will not parse — fix the syntax"
+		case simdb.NonSevere:
+			verdict = "WARNING: likely to fail at the server — check identifiers"
+		}
+		fmt.Printf("  [%-10s p=%.2f] %-58.58s %s\n", cls, probs[argmax(probs)], q, verdict)
+	}
+
+	// How much user time does the gate save? Count the test statements
+	// whose failure the advisor catches.
+	truth, _ := core.ErrorClassification.Labels(split.Test)
+	caught, failures := 0, 0
+	for i, item := range split.Test {
+		if truth[i] == int(simdb.Success) {
+			continue
+		}
+		failures++
+		if ev.Pred[i] != int(simdb.Success) {
+			caught++
+		}
+		_ = item
+	}
+	fmt.Printf("\nof %d failing test statements, the advisor flags %d before submission (recall %.2f)\n",
+		failures, caught, float64(caught)/float64(maxInt(failures, 1)))
+}
+
+func argmax(p []float64) int {
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// It generates a synthetic SDSS-like workload (the stand-in for a real
+// query log), trains a character-level CNN to predict query answer
+// sizes, and then predicts — prior to execution — the answer size of a
+// new query, comparing against the simulated ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Obtain a workload: {(query, label)} pairs (Definition 3).
+	fmt.Println("generating SDSS-like workload...")
+	gen := synth.NewSDSS(synth.SDSSConfig{Sessions: 2500, HitsPerSessionMax: 2, Seed: 7})
+	w := gen.Generate()
+	split := workload.RandomSplit(w.Items, 0.1, 0.1, rand.New(rand.NewSource(7)))
+	fmt.Printf("workload: %d unique statements (%d train / %d test)\n",
+		len(w.Items), len(split.Train), len(split.Test))
+
+	// 2. Train a model. TinyConfig keeps this demo fast; DefaultConfig
+	// matches the experiment harness.
+	cfg := core.TinyConfig()
+	cfg.Epochs = 2
+	fmt.Println("training ccnn for answer-size prediction...")
+	model, err := core.Train("ccnn", core.AnswerSizePrediction, split.Train, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("model: v=%d tokens, p=%d parameters\n", model.V, model.P)
+
+	// 3. Predict prior to execution.
+	queries := []string{
+		"SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018",
+		"SELECT p.objid, p.ra, p.dec FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152 AND p.dec BETWEEN 20 AND 22",
+		"SELECT COUNT(*) FROM Galaxy WHERE r < 22",
+	}
+	engine := gen.Engine()
+	fmt.Println("\nquery -> predicted rows (actual rows)")
+	for _, q := range queries {
+		pred := model.PredictRaw(q)
+		actual := engine.Execute(q)
+		fmt.Printf("  %-60.60s -> %10.0f (%d)\n", q, pred, actual.AnswerSize)
+	}
+
+	// 4. Evaluate on the held-out test set.
+	ev := core.EvaluateRegressor(model, core.AnswerSizePrediction, split.Test)
+	fmt.Printf("\ntest Huber loss (log space): %.4f, MSE: %.4f\n", ev.Loss, ev.MSE)
+}

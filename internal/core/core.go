@@ -1,0 +1,372 @@
+// Package core implements the paper's primary contribution: predicting
+// SQL query properties prior to execution from the raw statement text,
+// using models trained on a large query workload (Definitions 3-5).
+//
+// It provides a uniform interface over the nine models compared in
+// Section 6: the trivial baselines (mfreq, median), the optimizer-
+// estimate regression (opt), the traditional TF-IDF models (ctfidf,
+// wtfidf), the three-layer LSTMs (clstm, wlstm), and the shallow CNNs
+// (ccnn, wcnn) — each at character or word granularity.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/simdb"
+	"repro/internal/sqllex"
+	"repro/internal/textfeat"
+	"repro/internal/workload"
+)
+
+// Task identifies one of the four query facilitation problems
+// (Definition 4).
+type Task int
+
+// The four tasks of Definition 4, plus elapsed-time prediction
+// (Section 8 lists it as a direct extension: "Similar methods can be
+// used [to] predict the elapsed time of queries").
+const (
+	ErrorClassification Task = iota
+	CPUTimePrediction
+	AnswerSizePrediction
+	SessionClassification
+	ElapsedTimePrediction
+)
+
+// String names the task.
+func (t Task) String() string {
+	switch t {
+	case ErrorClassification:
+		return "error-classification"
+	case CPUTimePrediction:
+		return "cpu-time"
+	case AnswerSizePrediction:
+		return "answer-size"
+	case SessionClassification:
+		return "session-classification"
+	case ElapsedTimePrediction:
+		return "elapsed-time"
+	default:
+		return "?"
+	}
+}
+
+// IsClassification reports whether the task has class labels.
+func (t Task) IsClassification() bool {
+	return t == ErrorClassification || t == SessionClassification
+}
+
+// NumClasses returns the label cardinality for classification tasks.
+func (t Task) NumClasses() int {
+	switch t {
+	case ErrorClassification:
+		return simdb.NumErrorClasses
+	case SessionClassification:
+		return workload.NumSessionClasses
+	default:
+		return 0
+	}
+}
+
+// Labels extracts the task's labels from workload items: class indices
+// for classification, raw values for regression.
+func (t Task) Labels(items []workload.Item) ([]int, []float64) {
+	switch t {
+	case ErrorClassification:
+		return workload.ErrorLabels(items), nil
+	case SessionClassification:
+		return workload.SessionLabels(items), nil
+	case CPUTimePrediction:
+		return nil, workload.CPUTimes(items)
+	case AnswerSizePrediction:
+		return nil, workload.AnswerSizes(items)
+	case ElapsedTimePrediction:
+		return nil, workload.ElapsedTimes(items)
+	default:
+		return nil, nil
+	}
+}
+
+// ModelNames lists every model in the paper's comparison, in table
+// order.
+var ModelNames = []string{"mfreq", "median", "opt", "ctfidf", "wtfidf", "clstm", "wlstm", "ccnn", "wcnn"}
+
+// Config holds tokenization, architecture, and training
+// hyper-parameters. The defaults follow Section 6.1 (learning rate
+// 1e-3, batch size 16, dropout 0.5, clipping 0.25, AdaMax) with
+// scaled-down dimensions for laptop-scale training.
+type Config struct {
+	// Tokenization.
+	CharMaxLen   int
+	WordMaxLen   int
+	WordVocabMax int
+	// Neural architectures.
+	Embed      int
+	Hidden     int
+	LSTMLayers int
+	Kernels    int
+	Widths     []int
+	Dropout    float64
+	// Training.
+	Epochs    int
+	LR        float64
+	// LSTMLR overrides LR for the LSTM models when positive: at our
+	// scaled-down data sizes the CNN tolerates (and needs) a larger
+	// step size than the recurrent models.
+	LSTMLR    float64
+	BatchSize int
+	Clip      float64
+	// Traditional models.
+	NGramMax    int
+	MaxFeatures int
+	TfidfEpochs int
+	Seed        int64
+}
+
+// DefaultConfig returns the scaled-down defaults used by the
+// experiment harness. The paper trains with learning rate 1e-3 on
+// ~500k queries (tens of thousands of optimizer steps per epoch); at
+// our ~10k-query scale the same recipe needs proportionally larger
+// steps, so the defaults raise the learning rate (1e-2 for the CNN and
+// TF-IDF models, 3e-3 for the LSTMs) while keeping the paper's batch
+// size 16, AdaMax, dropout 0.5, and clipping 0.25.
+func DefaultConfig() Config {
+	return Config{
+		CharMaxLen: 160, WordMaxLen: 40, WordVocabMax: 20000,
+		Embed: 16, Hidden: 32, LSTMLayers: 3,
+		Kernels: 32, Widths: []int{3, 4, 5}, Dropout: 0.5,
+		Epochs: 4, LR: 2e-2, LSTMLR: 3e-3, BatchSize: 16, Clip: 0.25,
+		NGramMax: 4, MaxFeatures: 50000, TfidfEpochs: 4,
+		Seed: 42,
+	}
+}
+
+// TinyConfig returns a minimal configuration for unit tests and quick
+// benchmarks.
+func TinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CharMaxLen, cfg.WordMaxLen = 60, 24
+	cfg.Embed, cfg.Hidden, cfg.Kernels = 8, 12, 8
+	cfg.Epochs, cfg.TfidfEpochs = 1, 2
+	cfg.MaxFeatures = 5000
+	return cfg
+}
+
+// Model is a trained query-property predictor.
+type Model struct {
+	Name string
+	Task Task
+	// V and P are the vocabulary size and parameter count reported in
+	// the paper's tables (0 for the trivial baselines).
+	V, P int
+
+	probs func(stmt string) []float64 // classification
+	value func(stmt string) float64   // regression, log-space
+	// LogMin inverts the log transform for regression models.
+	LogMin float64
+
+	// Neural backend handle, kept so trained models can be fine-tuned
+	// on a new workload (the transfer-learning direction of Section 8).
+	// Nil for baselines and the TF-IDF models.
+	neural  nnBackend
+	maxLen  int
+	rngSeed int64
+}
+
+// nnBackend is the retained state of a neural model.
+type nnBackend struct {
+	model nn.Model
+	vocab *sqllex.Vocabulary
+}
+
+// Probs returns the class distribution for a statement.
+func (m *Model) Probs(stmt string) []float64 {
+	if m.probs == nil {
+		return nil
+	}
+	return m.probs(stmt)
+}
+
+// PredictClass returns the argmax class for a statement.
+func (m *Model) PredictClass(stmt string) int {
+	p := m.Probs(stmt)
+	best := 0
+	for c := range p {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictLog returns the log-space regression prediction.
+func (m *Model) PredictLog(stmt string) float64 {
+	if m.value == nil {
+		return 0
+	}
+	return m.value(stmt)
+}
+
+// PredictRaw returns the regression prediction in the label's original
+// units (rows or seconds), inverting the paper's log transform.
+func (m *Model) PredictRaw(stmt string) float64 {
+	return metrics.InverseLogTransform(m.PredictLog(stmt), m.LogMin)
+}
+
+// Tokenize applies the model's granularity to a statement: names
+// beginning with 'c' are character-level, 'w' word-level.
+func Tokenize(modelName, stmt string) []string {
+	if len(modelName) > 0 && modelName[0] == 'w' {
+		return sqllex.Words(stmt)
+	}
+	return sqllex.Chars(stmt)
+}
+
+// Train fits the named model for the task on the training items. The
+// opt baseline needs optimizer estimates and must be trained with
+// TrainOpt instead.
+func Train(name string, task Task, train []workload.Item, cfg Config) (*Model, error) {
+	switch name {
+	case "mfreq":
+		return trainMFreq(task, train)
+	case "median":
+		return trainMedian(task, train)
+	case "ctfidf", "wtfidf":
+		return trainTFIDF(name, task, train, cfg)
+	case "ccnn", "wcnn", "clstm", "wlstm":
+		return trainNeural(name, task, train, cfg)
+	case "opt":
+		return nil, fmt.Errorf("core: train %q with FitOpt (requires optimizer estimates)", name)
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", name)
+	}
+}
+
+// trainMFreq builds the majority-class baseline.
+func trainMFreq(task Task, train []workload.Item) (*Model, error) {
+	if !task.IsClassification() {
+		return nil, fmt.Errorf("core: mfreq requires a classification task")
+	}
+	labels, _ := task.Labels(train)
+	counts := make([]int, task.NumClasses())
+	for _, y := range labels {
+		counts[y]++
+	}
+	best := 0
+	for c := range counts {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	dist := make([]float64, task.NumClasses())
+	dist[best] = 1
+	return &Model{
+		Name: "mfreq", Task: task,
+		probs: func(string) []float64 { return dist },
+	}, nil
+}
+
+// trainMedian builds the median baseline for regression (predicting
+// the median of the log-transformed training distribution).
+func trainMedian(task Task, train []workload.Item) (*Model, error) {
+	if task.IsClassification() {
+		return nil, fmt.Errorf("core: median requires a regression task")
+	}
+	_, raw := task.Labels(train)
+	logs, min := metrics.LogTransform(raw)
+	sorted := append([]float64(nil), logs...)
+	sort.Float64s(sorted)
+	med := 0.0
+	if len(sorted) > 0 {
+		med = sorted[len(sorted)/2]
+	}
+	return &Model{
+		Name: "median", Task: task, LogMin: min,
+		value: func(string) float64 { return med },
+	}, nil
+}
+
+// OptModel is the opt baseline of Section 6.1 (following Akdere et al.
+// and Li et al.): a linear regression from the query optimizer's cost
+// estimate to the log-transformed label. Unlike the text models it
+// cannot predict from the statement alone — it needs the per-query
+// optimizer estimate, so it has its own fit/predict pair.
+type OptModel struct {
+	Line   textfeat.LinearRegression1D
+	LogMin float64
+}
+
+// FitOpt fits the opt baseline from per-item optimizer cost estimates.
+func FitOpt(task Task, train []workload.Item, estimates []float64) (OptModel, error) {
+	if task.IsClassification() {
+		return OptModel{}, fmt.Errorf("core: opt requires a regression task")
+	}
+	_, raw := task.Labels(train)
+	logs, min := metrics.LogTransform(raw)
+	xs := make([]float64, len(estimates))
+	for i, e := range estimates {
+		xs[i] = logScale(e)
+	}
+	return OptModel{Line: textfeat.FitLinear1D(xs, logs), LogMin: min}, nil
+}
+
+// PredictLog maps an optimizer estimate to a log-space prediction.
+func (m OptModel) PredictLog(estimate float64) float64 {
+	return m.Line.Predict(logScale(estimate))
+}
+
+func logScale(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	return math.Log1p(v)
+}
+
+// trainTFIDF fits the traditional two-stage models.
+func trainTFIDF(name string, task Task, train []workload.Item, cfg Config) (*Model, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seqs := make([][]string, len(train))
+	for i, item := range train {
+		seqs[i] = Tokenize(name, item.Statement)
+	}
+	fz := textfeat.FitFeaturizer(seqs, cfg.NGramMax, cfg.MaxFeatures)
+	xs := fz.TransformAll(seqs)
+	m := &Model{Name: name, Task: task, V: fz.NumFeatures()}
+	if task.IsClassification() {
+		labels, _ := task.Labels(train)
+		lr := textfeat.NewLogisticRegression(task.NumClasses(), fz.NumFeatures())
+		lr.Fit(xs, labels, cfg.TfidfEpochs, 0.5, rng)
+		m.P = lr.ParamCount()
+		m.probs = func(stmt string) []float64 {
+			return lr.Probs(fz.Transform(Tokenize(name, stmt)))
+		}
+		return m, nil
+	}
+	_, raw := task.Labels(train)
+	logs, min := metrics.LogTransform(raw)
+	hr := textfeat.NewHuberRegression(fz.NumFeatures())
+	hr.B = meanOf(logs) // warm-start the intercept at the label mean
+	hr.Fit(xs, logs, cfg.TfidfEpochs, 0.5, rng)
+	m.P = hr.ParamCount()
+	m.LogMin = min
+	m.value = func(stmt string) float64 {
+		return hr.Predict(fz.Transform(Tokenize(name, stmt)))
+	}
+	return m, nil
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}

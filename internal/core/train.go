@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/sqllex"
+	"repro/internal/workload"
+)
+
+// trainNeural fits one of the four neural models (ccnn, wcnn, clstm,
+// wlstm) with the paper's training recipe: AdaMax, learning rate 1e-3,
+// batch size 16, gradient clipping, cross-entropy or Huber loss on
+// log-transformed labels.
+func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Model, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	word := name[0] == 'w'
+	maxLen := cfg.CharMaxLen
+	if word {
+		maxLen = cfg.WordMaxLen
+	}
+	// Build the vocabulary from training tokens.
+	seqs := make([][]string, len(train))
+	for i, item := range train {
+		seqs[i] = Tokenize(name, item.Statement)
+	}
+	vocabMax := 0 // characters: unbounded (small anyway)
+	if word {
+		vocabMax = cfg.WordVocabMax
+	}
+	vocab := sqllex.BuildVocabulary(seqs, vocabMax)
+	encoded := make([][]int, len(train))
+	for i, seq := range seqs {
+		encoded[i] = vocab.Encode(seq, maxLen)
+	}
+
+	outputs := 1
+	if task.IsClassification() {
+		outputs = task.NumClasses()
+	}
+	var model nn.Model
+	switch name {
+	case "ccnn", "wcnn":
+		model = nn.NewCNN(nn.CNNConfig{
+			Vocab: vocab.Size(), Embed: cfg.Embed, Widths: cfg.Widths,
+			Kernels: cfg.Kernels, Dropout: cfg.Dropout, Outputs: outputs,
+		}, rng)
+	default:
+		model = nn.NewLSTM(nn.LSTMConfig{
+			Vocab: vocab.Size(), Embed: cfg.Embed, Hidden: cfg.Hidden,
+			Layers: cfg.LSTMLayers, Outputs: outputs,
+		}, rng)
+	}
+	lr := cfg.LR
+	if cfg.LSTMLR > 0 && (name == "clstm" || name == "wlstm") {
+		lr = cfg.LSTMLR
+	}
+	opt := nn.NewOptimizer(nn.AdaMax, lr, cfg.Clip)
+	params := model.Params()
+
+	m := &Model{
+		Name: name, Task: task, V: vocab.Size(), P: nn.ParamCount(params),
+		neural: nnBackend{model: model, vocab: vocab},
+		maxLen: maxLen, rngSeed: cfg.Seed,
+	}
+
+	encode := func(stmt string) []int {
+		return vocab.Encode(Tokenize(name, stmt), maxLen)
+	}
+
+	if task.IsClassification() {
+		labels, _ := task.Labels(train)
+		trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
+			out, cache := model.Forward(encoded[i], true, rng)
+			_, _, dlogits := nn.SoftmaxCE(out, labels[i])
+			model.Backward(encoded[i], cache, dlogits)
+			return nil
+		})
+		m.probs = func(stmt string) []float64 {
+			out, _ := model.Forward(encode(stmt), false, nil)
+			return nn.Softmax(out)
+		}
+		return m, nil
+	}
+
+	_, raw := task.Labels(train)
+	logs, min := metrics.LogTransform(raw)
+	m.LogMin = min
+	warmStartBias(model, meanOf(logs))
+	trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
+		out, cache := model.Forward(encoded[i], true, rng)
+		_, dpred := nn.HuberLoss(out[0], logs[i], 1)
+		model.Backward(encoded[i], cache, []float64{dpred})
+		return nil
+	})
+	m.value = func(stmt string) float64 {
+		out, _ := model.Forward(encode(stmt), false, nil)
+		return out[0]
+	}
+	return m, nil
+}
+
+// trainLoop runs epochs of shuffled mini-batch training. step(i) must
+// run forward+backward for sample i, accumulating gradients.
+func trainLoop(model nn.Model, opt *nn.Optimizer, params []*nn.Param,
+	encoded [][]int, cfg Config, rng *rand.Rand, step func(i int) []float64) {
+	order := make([]int, len(encoded))
+	for i := range order {
+		order[i] = i
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, i := range order[start:end] {
+				step(i)
+			}
+			// Average the batch gradient (gradients were summed).
+			scale := 1.0 / float64(end-start)
+			for _, p := range params {
+				for k := range p.G {
+					p.G[k] *= scale
+				}
+			}
+			opt.Step(params)
+		}
+	}
+}
+
+// warmStartBias initializes the regression output bias at the label
+// mean so early training does not spend epochs closing a large offset.
+func warmStartBias(model nn.Model, mean float64) {
+	switch m := model.(type) {
+	case *nn.CNNModel:
+		m.FC.B.W[0] = mean
+	case *nn.LSTMModel:
+		m.FC.B.W[0] = mean
+	}
+}
+
+// EvalClassification holds the classification measures of Tables 2 and
+// 4: accuracy, mean cross-entropy loss, and per-class F-measures.
+type EvalClassification struct {
+	Accuracy float64
+	Loss     float64
+	PerClass []metrics.ClassStats
+	Pred     []int
+}
+
+// EvaluateClassifier computes classification metrics on test items.
+func EvaluateClassifier(m *Model, task Task, test []workload.Item) EvalClassification {
+	truth, _ := task.Labels(test)
+	pred := make([]int, len(test))
+	probs := make([][]float64, len(test))
+	for i, item := range test {
+		p := m.Probs(item.Statement)
+		probs[i] = p
+		best := 0
+		for c := range p {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		pred[i] = best
+	}
+	return EvalClassification{
+		Accuracy: metrics.Accuracy(pred, truth),
+		Loss:     metrics.CrossEntropyMean(probs, truth),
+		PerClass: metrics.PerClassF(pred, truth, task.NumClasses()),
+		Pred:     pred,
+	}
+}
+
+// EvalRegression holds the regression measures of Tables 2, 3, 5-7 and
+// Figures 12-14: mean Huber loss and MSE in log space, plus raw-space
+// predictions for qerror analysis.
+type EvalRegression struct {
+	Loss    float64 // mean Huber loss on log labels
+	MSE     float64
+	LogPred []float64
+	LogTrue []float64
+	RawPred []float64
+	RawTrue []float64
+}
+
+// EvaluateRegressor computes regression metrics on test items. Labels
+// are log-transformed with the model's training minimum so train and
+// test share the transform.
+func EvaluateRegressor(m *Model, task Task, test []workload.Item) EvalRegression {
+	_, raw := task.Labels(test)
+	ev := EvalRegression{
+		LogPred: make([]float64, len(test)),
+		LogTrue: make([]float64, len(test)),
+		RawPred: make([]float64, len(test)),
+		RawTrue: raw,
+	}
+	for i, item := range test {
+		ev.LogPred[i] = m.PredictLog(item.Statement)
+		ev.LogTrue[i] = logWithMin(raw[i], m.LogMin)
+		ev.RawPred[i] = metrics.InverseLogTransform(ev.LogPred[i], m.LogMin)
+	}
+	ev.Loss = metrics.HuberLossMean(ev.LogPred, ev.LogTrue, 1)
+	ev.MSE = metrics.MSE(ev.LogPred, ev.LogTrue)
+	return ev
+}
+
+// EvaluateOpt evaluates the opt baseline given per-item estimates.
+func EvaluateOpt(m OptModel, task Task, test []workload.Item, estimates []float64) EvalRegression {
+	_, raw := task.Labels(test)
+	ev := EvalRegression{
+		LogPred: make([]float64, len(test)),
+		LogTrue: make([]float64, len(test)),
+		RawPred: make([]float64, len(test)),
+		RawTrue: raw,
+	}
+	for i := range test {
+		ev.LogPred[i] = m.PredictLog(estimates[i])
+		ev.LogTrue[i] = logWithMin(raw[i], m.LogMin)
+		ev.RawPred[i] = metrics.InverseLogTransform(ev.LogPred[i], m.LogMin)
+	}
+	ev.Loss = metrics.HuberLossMean(ev.LogPred, ev.LogTrue, 1)
+	ev.MSE = metrics.MSE(ev.LogPred, ev.LogTrue)
+	return ev
+}
+
+// logWithMin applies y' = ln(y + 1 - min), clamping below min (test
+// labels can undershoot the training minimum).
+func logWithMin(v, min float64) float64 {
+	x := v + 1 - min
+	if x < 1e-9 {
+		x = 1e-9
+	}
+	return logOf(x)
+}
+
+func logOf(x float64) float64 { return math.Log(x) }

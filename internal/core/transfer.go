@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/sqllex"
+	"repro/internal/workload"
+)
+
+// FineTune continues training a neural model on a new workload — the
+// transfer-learning direction the paper proposes in Section 8 ("apply
+// transfer-learning ideas to improve ccnn under heterogeneous
+// settings"). The source model's token embeddings and convolutional /
+// recurrent features are reused; the target workload drives further
+// gradient steps at the (typically smaller) learning rate in cfg.
+// Target-workload tokens absent from the source vocabulary map to the
+// unknown token — which is exactly why character-level models transfer
+// so much better than word-level ones (characters are shared across
+// schemas, table names are not).
+//
+// Fine-tuning mutates m's parameters and returns m for chaining. It
+// fails for baseline and TF-IDF models, whose feature spaces are
+// frozen at fit time.
+func FineTune(m *Model, train []workload.Item, cfg Config) (*Model, error) {
+	if m.neural.model == nil {
+		return nil, fmt.Errorf("core: model %q cannot be fine-tuned (no neural backend)", m.Name)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	encoded := make([][]int, len(train))
+	for i, item := range train {
+		encoded[i] = m.neural.vocab.Encode(Tokenize(m.Name, item.Statement), m.maxLen)
+	}
+	lr := cfg.LR
+	if cfg.LSTMLR > 0 && (m.Name == "clstm" || m.Name == "wlstm") {
+		lr = cfg.LSTMLR
+	}
+	opt := nn.NewOptimizer(nn.AdaMax, lr, cfg.Clip)
+	params := m.neural.model.Params()
+	model := m.neural.model
+
+	if m.Task.IsClassification() {
+		labels, _ := m.Task.Labels(train)
+		trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
+			out, cache := model.Forward(encoded[i], true, rng)
+			_, _, dlogits := nn.SoftmaxCE(out, labels[i])
+			model.Backward(encoded[i], cache, dlogits)
+			return nil
+		})
+		return m, nil
+	}
+
+	// Regression: keep the SOURCE transform minimum so predictions stay
+	// on a single consistent scale across source and target.
+	_, raw := m.Task.Labels(train)
+	logs := make([]float64, len(raw))
+	for i, v := range raw {
+		logs[i] = logWithMin(v, m.LogMin)
+	}
+	trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
+		out, cache := model.Forward(encoded[i], true, rng)
+		_, dpred := nn.HuberLoss(out[0], logs[i], 1)
+		model.Backward(encoded[i], cache, []float64{dpred})
+		return nil
+	})
+	return m, nil
+}
+
+// TransferResult reports a source->target transfer experiment.
+type TransferResult struct {
+	SourceOnly float64 // target-test loss of the source model as-is
+	FineTuned  float64 // after fine-tuning on the target train set
+	FromScratch float64 // a fresh model trained only on the target
+}
+
+// TransferExperiment measures whether pre-training on a source
+// workload helps on a target workload: it evaluates the source model
+// zero-shot, after fine-tuning, and against a from-scratch baseline.
+// Only regression tasks are supported (the paper's cross-workload
+// problem is CPU-time prediction).
+func TransferExperiment(name string, task Task, source, targetTrain, targetTest []workload.Item, cfg Config) (TransferResult, error) {
+	if task.IsClassification() {
+		return TransferResult{}, fmt.Errorf("core: transfer experiment supports regression tasks only")
+	}
+	src, err := Train(name, task, source, cfg)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	var res TransferResult
+	res.SourceOnly = EvaluateRegressor(src, task, targetTest).Loss
+
+	if _, err := FineTune(src, targetTrain, cfg); err != nil {
+		return TransferResult{}, err
+	}
+	res.FineTuned = EvaluateRegressor(src, task, targetTest).Loss
+
+	scratch, err := Train(name, task, targetTrain, cfg)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	res.FromScratch = EvaluateRegressor(scratch, task, targetTest).Loss
+	return res, nil
+}
+
+// MultiTaskModel predicts error class, answer size, and CPU time from
+// one shared encoder — the multi-task direction of Section 8 ("use
+// multi-task models that learn correlations between the query labels").
+// A single CNN encoder feeds three output heads; training sums the
+// three losses.
+type MultiTaskModel struct {
+	V, P int
+
+	emb    *nn.Embedding
+	convs  []*nn.Conv1D
+	drop   nn.Dropout
+	headE  *nn.Dense // error logits (3)
+	headA  *nn.Dense // answer size (1)
+	headC  *nn.Dense // CPU time (1)
+	vocab  vocabEncoder
+	maxLen int
+	// Log-transform minima for the two regression heads.
+	AnsLogMin, CPULogMin float64
+	kernels              int
+}
+
+type vocabEncoder interface {
+	Encode(tokens []string, maxLen int) []int
+	Size() int
+}
+
+// MultiTaskPrediction bundles the three predictions.
+type MultiTaskPrediction struct {
+	ErrorProbs []float64
+	ErrorClass int
+	AnswerSize float64 // rows, raw space
+	CPUTime    float64 // seconds, raw space
+}
+
+// TrainMultiTask fits the shared-encoder model on an SDSS-style
+// workload (character granularity).
+func TrainMultiTask(train []workload.Item, cfg Config) (*MultiTaskModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seqs := make([][]string, len(train))
+	for i, item := range train {
+		seqs[i] = Tokenize("ccnn", item.Statement)
+	}
+	vocab := buildVocab(seqs)
+	encoded := make([][]int, len(train))
+	for i, seq := range seqs {
+		encoded[i] = vocab.Encode(seq, cfg.CharMaxLen)
+	}
+
+	m := &MultiTaskModel{vocab: vocab, maxLen: cfg.CharMaxLen, kernels: cfg.Kernels}
+	m.emb = nn.NewEmbedding("emb", vocab.Size(), cfg.Embed, rng)
+	for _, wdt := range cfg.Widths {
+		m.convs = append(m.convs, nn.NewConv1D("conv", wdt, cfg.Embed, cfg.Kernels, rng))
+	}
+	m.drop = nn.Dropout{P: cfg.Dropout}
+	featDim := cfg.Kernels * len(cfg.Widths)
+	m.headE = nn.NewDense("headE", featDim, simdbNumErrorClasses, rng)
+	m.headA = nn.NewDense("headA", featDim, 1, rng)
+	m.headC = nn.NewDense("headC", featDim, 1, rng)
+	m.V = vocab.Size()
+
+	errLabels, _ := ErrorClassification.Labels(train)
+	_, ansRaw := AnswerSizePrediction.Labels(train)
+	_, cpuRaw := CPUTimePrediction.Labels(train)
+	ansLogs, ansMin := metrics.LogTransform(ansRaw)
+	cpuLogs, cpuMin := metrics.LogTransform(cpuRaw)
+	m.AnsLogMin, m.CPULogMin = ansMin, cpuMin
+	m.headA.B.W[0] = meanOf(ansLogs)
+	m.headC.B.W[0] = meanOf(cpuLogs)
+
+	params := m.params()
+	m.P = nn.ParamCount(params)
+	opt := nn.NewOptimizer(nn.AdaMax, cfg.LR, cfg.Clip)
+
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, i := range order[start:end] {
+				m.step(encoded[i], errLabels[i], ansLogs[i], cpuLogs[i], rng)
+			}
+			scale := 1.0 / float64(end-start)
+			for _, p := range params {
+				for k := range p.G {
+					p.G[k] *= scale
+				}
+			}
+			opt.Step(params)
+		}
+	}
+	return m, nil
+}
+
+const simdbNumErrorClasses = 3
+
+func (m *MultiTaskModel) params() []*nn.Param {
+	params := m.emb.Params()
+	for _, c := range m.convs {
+		params = append(params, c.Params()...)
+	}
+	params = append(params, m.headE.Params()...)
+	params = append(params, m.headA.Params()...)
+	params = append(params, m.headC.Params()...)
+	return params
+}
+
+// encodeFeatures runs the shared encoder.
+func (m *MultiTaskModel) encodeFeatures(ids []int, train bool, rng *rand.Rand) (feat, preDrop []float64, caches []*nn.ConvCache, xs [][]float64, mask []float64) {
+	xs = m.emb.Forward(ids)
+	var pooled []float64
+	for _, conv := range m.convs {
+		p, cc := conv.Forward(xs)
+		caches = append(caches, cc)
+		pooled = append(pooled, p...)
+	}
+	masked, mk := m.drop.Forward(pooled, train, rng)
+	return masked, pooled, caches, xs, mk
+}
+
+// step runs one multi-task forward/backward accumulation.
+func (m *MultiTaskModel) step(ids []int, errLabel int, ansLog, cpuLog float64, rng *rand.Rand) {
+	feat, _, caches, xs, mask := m.encodeFeatures(ids, true, rng)
+
+	_, _, dE := nn.SoftmaxCE(m.headE.Forward(feat), errLabel)
+	outA := m.headA.Forward(feat)
+	_, dA := nn.HuberLoss(outA[0], ansLog, 1)
+	outC := m.headC.Forward(feat)
+	_, dC := nn.HuberLoss(outC[0], cpuLog, 1)
+
+	dfeat := m.headE.Backward(feat, dE)
+	dfeatA := m.headA.Backward(feat, []float64{dA})
+	dfeatC := m.headC.Backward(feat, []float64{dC})
+	for i := range dfeat {
+		dfeat[i] += dfeatA[i] + dfeatC[i]
+	}
+	dpooled := m.drop.Backward(dfeat, mask)
+
+	dxs := make([][]float64, len(xs))
+	for i := range dxs {
+		dxs[i] = make([]float64, m.emb.D)
+	}
+	off := 0
+	for ci, conv := range m.convs {
+		dconv := conv.Backward(caches[ci], dpooled[off:off+m.kernels])
+		for t := range dconv {
+			for i, v := range dconv[t] {
+				dxs[t][i] += v
+			}
+		}
+		off += m.kernels
+	}
+	m.emb.Backward(ids, dxs)
+}
+
+// Predict returns all three property predictions for a statement.
+func (m *MultiTaskModel) Predict(stmt string) MultiTaskPrediction {
+	ids := m.vocab.Encode(Tokenize("ccnn", stmt), m.maxLen)
+	feat, _, _, _, _ := m.encodeFeatures(ids, false, nil)
+	probs := nn.Softmax(m.headE.Forward(feat))
+	best := 0
+	for c := range probs {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	ans := m.headA.Forward(feat)[0]
+	cpu := m.headC.Forward(feat)[0]
+	return MultiTaskPrediction{
+		ErrorProbs: probs,
+		ErrorClass: best,
+		AnswerSize: metrics.InverseLogTransform(ans, m.AnsLogMin),
+		CPUTime:    metrics.InverseLogTransform(cpu, m.CPULogMin),
+	}
+}
+
+// PredictLog returns the log-space regression outputs (answer, cpu).
+func (m *MultiTaskModel) PredictLog(stmt string) (ansLog, cpuLog float64) {
+	ids := m.vocab.Encode(Tokenize("ccnn", stmt), m.maxLen)
+	feat, _, _, _, _ := m.encodeFeatures(ids, false, nil)
+	return m.headA.Forward(feat)[0], m.headC.Forward(feat)[0]
+}
+
+func buildVocab(seqs [][]string) vocabEncoder {
+	return sqllex.BuildVocabulary(seqs, 0)
+}

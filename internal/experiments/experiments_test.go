@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// sharedEnv builds one small environment reused by all tests in this
+// package (dataset generation and model training dominate test time).
+var sharedEnv *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		sharedEnv = NewEnv(SmallScale())
+	}
+	return sharedEnv
+}
+
+func TestSettingString(t *testing.T) {
+	if HomoInstance.String() != "Homogeneous Instance" ||
+		HomoSchema.String() != "Homogeneous Schema" ||
+		HeteroSchema.String() != "Heterogeneous Schema" {
+		t.Fatal("setting names")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	env := testEnv(t)
+	rows, text := Table1(env)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total != r.Train+r.Valid+r.Test {
+			t.Fatalf("split does not sum: %+v", r)
+		}
+		if r.Train <= r.Test {
+			t.Fatalf("train should dominate: %+v", r)
+		}
+	}
+	if !strings.Contains(text, "Homogeneous Instance") {
+		t.Fatal("render missing setting name")
+	}
+}
+
+func TestTable2ShapeAndBaselines(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Table2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (baseline + 6 models)", len(rows))
+	}
+	if rows[0].Model != "baseline" {
+		t.Fatal("first row must be the baseline")
+	}
+	// mfreq achieves high accuracy on the imbalanced error task but
+	// zero F on the rare classes (the paper's Table 2 pattern).
+	if rows[0].Accuracy < 0.9 {
+		t.Fatalf("baseline accuracy = %v", rows[0].Accuracy)
+	}
+	if rows[0].FSevere != 0 || rows[0].FNonSevere != 0 {
+		t.Fatal("mfreq F on rare classes must be 0")
+	}
+	// Learned models must beat the trivial regression baseline on at
+	// least one of the regression tasks.
+	better := 0
+	for _, r := range rows[1:] {
+		if r.CPULoss < rows[0].CPULoss || r.AnsLoss < rows[0].AnsLoss {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Fatal("no learned model beats the median baseline")
+	}
+	text := RenderTable2(rows)
+	if !strings.Contains(text, "ccnn") || !strings.Contains(text, "Fsevere") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestTable3QErrors(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for i, v := range r.Values {
+			if v < 1 {
+				t.Fatalf("%s qerror[%d] = %v < 1", r.Model, i, v)
+			}
+			if i > 0 && v < r.Values[i-1]-1e-9 {
+				t.Fatalf("%s qerror percentiles must be nondecreasing", r.Model)
+			}
+		}
+	}
+	text := RenderQErrorTable("Table 3", rows)
+	if !strings.Contains(text, "50%") {
+		t.Fatal("render missing percentile header")
+	}
+}
+
+func TestTable4SessionClassification(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Table4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Model != "mfreq" {
+		t.Fatal("first row must be mfreq")
+	}
+	if len(rows[0].F) != workload.NumSessionClasses {
+		t.Fatal("per-class F count")
+	}
+	// mfreq predicts no_web_hit everywhere: accuracy equals the class
+	// frequency and only F_no_web_hit is nonzero.
+	for c, f := range rows[0].F {
+		if c == int(workload.NoWebHit) {
+			if f <= 0 {
+				t.Fatal("F_no_web_hit must be positive for mfreq")
+			}
+			continue
+		}
+		if f != 0 {
+			t.Fatalf("mfreq F[%d] = %v, want 0", c, f)
+		}
+	}
+	text := RenderTable4(rows)
+	if !strings.Contains(text, "F_bot") {
+		t.Fatal("render missing class header")
+	}
+}
+
+func TestTable5BothSettings(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Table5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (median, opt, 6 models)", len(rows))
+	}
+	if rows[0].Model != "median" || rows[1].Model != "opt" {
+		t.Fatalf("row order: %s, %s", rows[0].Model, rows[1].Model)
+	}
+	for _, r := range rows {
+		if r.LossHomo < 0 || r.LossHetero < 0 {
+			t.Fatalf("negative loss: %+v", r)
+		}
+	}
+	text := RenderTable5(rows)
+	if !strings.Contains(text, "opt") {
+		t.Fatal("render missing opt row")
+	}
+}
+
+func TestTables6And7(t *testing.T) {
+	env := testEnv(t)
+	t6, err := Table6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t7, err := Table7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6) == 0 || len(t7) == 0 {
+		t.Fatal("empty qerror tables")
+	}
+	if t6[0].Percentiles[0] != 40 || t7[0].Percentiles[0] != 10 {
+		t.Fatal("percentile sets must match the paper's tables")
+	}
+}
+
+func TestFigureStructural(t *testing.T) {
+	env := testEnv(t)
+	sdss, textS := FigureStructural(env, true)
+	sqlshare, textQ := FigureStructural(env, false)
+	if len(sdss) != 10 || len(sqlshare) != 10 {
+		t.Fatal("ten properties expected")
+	}
+	if !strings.Contains(textS, "Figure 3") || !strings.Contains(textQ, "Figure 4") {
+		t.Fatal("titles")
+	}
+	// Median characters should be positive in both workloads.
+	if sdss[0].Summary.Median <= 0 || sqlshare[0].Summary.Median <= 0 {
+		t.Fatal("degenerate char distribution")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	env := testEnv(t)
+	res, text := Figure6(env)
+	if res.ErrorCounts["success"] == 0 {
+		t.Fatal("missing success count")
+	}
+	if res.SDSSAnswer.Median > 100 {
+		t.Fatalf("SDSS answer median = %v, paper reports 1", res.SDSSAnswer.Median)
+	}
+	if !strings.Contains(text, "session classes") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure7Symmetric(t *testing.T) {
+	env := testEnv(t)
+	m, text := Figure7(env, true)
+	if len(m) != 10 {
+		t.Fatal("matrix dims")
+	}
+	for i := range m {
+		if math.Abs(m[i][i]-1) > 1e-9 {
+			t.Fatal("diagonal must be 1")
+		}
+		for j := range m {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-9 {
+				t.Fatal("matrix must be symmetric")
+			}
+		}
+	}
+	if !strings.Contains(text, "correlation matrix") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	env := testEnv(t)
+	res, text := Figure8(env)
+	if len(res.AnswerSize) != workload.NumSessionClasses {
+		t.Fatal("class count")
+	}
+	if !strings.Contains(text, "bot") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Figure12(env, core.CPUTimePrediction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Overall < 0 {
+			t.Fatal("negative MSE")
+		}
+	}
+	text := RenderFigure12("CPU time", rows)
+	if !strings.Contains(text, "no_web_hit") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure13(t *testing.T) {
+	env := testEnv(t)
+	res, err := Figure13(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByModel) != 7 {
+		t.Fatalf("models = %d", len(res.ByModel))
+	}
+	curves := res.ByModel["ccnn"]
+	if len(curves[0]) == 0 {
+		t.Fatal("empty char curve")
+	}
+	if len(res.CCNNByNestedness) == 0 || len(res.CCNNByNestedAgg) == 0 {
+		t.Fatal("ccnn nestedness curves missing")
+	}
+}
+
+func TestFigure14AllSettings(t *testing.T) {
+	env := testEnv(t)
+	for _, s := range []Setting{HomoInstance, HomoSchema, HeteroSchema} {
+		res, err := Figure14(env, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.MSEByModel) != 7 {
+			t.Fatalf("%v: models = %d", s, len(res.MSEByModel))
+		}
+		if len(res.CharCurves["ccnn"]) == 0 {
+			t.Fatalf("%v: no char curve", s)
+		}
+	}
+}
+
+func TestFigure20(t *testing.T) {
+	env := testEnv(t)
+	h, text := Figure20(env)
+	if h["1"] == 0 {
+		t.Fatal("unique statements must dominate")
+	}
+	if !strings.Contains(text, "Figure 20") {
+		t.Fatal("render")
+	}
+}
+
+func TestModelCachingReusesTraining(t *testing.T) {
+	env := testEnv(t)
+	m1, err := env.Model("mfreq", core.ErrorClassification, HomoInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := env.Model("mfreq", core.ErrorClassification, HomoInstance)
+	if m1 != m2 {
+		t.Fatal("model cache must return the same instance")
+	}
+}
+
+func TestOptEstimatesUseUserCatalogs(t *testing.T) {
+	env := testEnv(t)
+	items := env.HomoSplit.Test
+	est := env.OptEstimates(items)
+	positive := 0
+	for _, e := range est {
+		if e > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("optimizer estimates should be positive for valid queries")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// RunTable regenerates one numbered table and returns its rendering.
+func RunTable(env *Env, n int) (string, error) {
+	switch n {
+	case 1:
+		_, text := Table1(env)
+		return text, nil
+	case 2:
+		rows, err := Table2(env)
+		if err != nil {
+			return "", err
+		}
+		return RenderTable2(rows), nil
+	case 3:
+		rows, err := Table3(env)
+		if err != nil {
+			return "", err
+		}
+		return RenderQErrorTable("Table 3: answer size prediction qerror (SDSS)", rows), nil
+	case 4:
+		rows, err := Table4(env)
+		if err != nil {
+			return "", err
+		}
+		return RenderTable4(rows), nil
+	case 5:
+		rows, err := Table5(env)
+		if err != nil {
+			return "", err
+		}
+		return RenderTable5(rows), nil
+	case 6:
+		rows, err := Table6(env)
+		if err != nil {
+			return "", err
+		}
+		return RenderQErrorTable("Table 6: CPU time prediction qerror (SQLShare, Homogeneous Schema)", rows), nil
+	case 7:
+		rows, err := Table7(env)
+		if err != nil {
+			return "", err
+		}
+		return RenderQErrorTable("Table 7: CPU time prediction qerror (SQLShare, Heterogeneous Schema)", rows), nil
+	default:
+		return "", fmt.Errorf("experiments: no table %d", n)
+	}
+}
+
+// RunFigure regenerates one numbered figure and returns its rendering.
+func RunFigure(env *Env, n int) (string, error) {
+	switch n {
+	case 3:
+		_, text := FigureStructural(env, true)
+		return text, nil
+	case 4:
+		_, text := FigureStructural(env, false)
+		return text, nil
+	case 6:
+		_, text := Figure6(env)
+		return text, nil
+	case 7:
+		_, textS := Figure7(env, true)
+		_, textQ := Figure7(env, false)
+		return textS + "\n" + textQ, nil
+	case 8:
+		_, text := Figure8(env)
+		return text, nil
+	case 12:
+		var b strings.Builder
+		cpu, err := Figure12(env, core.CPUTimePrediction)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(RenderFigure12("CPU time", cpu))
+		ans, err := Figure12(env, core.AnswerSizePrediction)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(RenderFigure12("answer size", ans))
+		return b.String(), nil
+	case 13:
+		res, err := Figure13(env)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString("Figure 13: error analysis of answer size prediction (SDSS)\n")
+		propNames := []string{"number of characters", "number of functions", "number of joins"}
+		for _, model := range append([]string{"median"}, tableModels...) {
+			curves := res.ByModel[model]
+			for p, curve := range curves {
+				b.WriteString(RenderBinnedCurve(fmt.Sprintf("(%s) squared error by %s", model, propNames[p]), curve))
+			}
+		}
+		b.WriteString(RenderBinnedCurve("(d) ccnn by nestedness level", res.CCNNByNestedness))
+		b.WriteString(RenderBinnedCurve("(e) ccnn by nested aggregation", res.CCNNByNestedAgg))
+		return b.String(), nil
+	case 14:
+		var b strings.Builder
+		b.WriteString("Figure 14: error analysis of CPU time prediction across settings\n")
+		for _, s := range []Setting{HomoInstance, HomoSchema, HeteroSchema} {
+			res, err := Figure14(env, s)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "[%s]\n", s)
+			for _, model := range append([]string{"median"}, tableModels...) {
+				fmt.Fprintf(&b, "    %-9s MSE = %.4f\n", model, res.MSEByModel[model])
+			}
+			b.WriteString(RenderBinnedCurve("    ccnn squared error by number of characters", res.CharCurves["ccnn"]))
+			b.WriteString(RenderBinnedCurve("    ccnn squared error by nestedness level", res.CCNNByNest))
+		}
+		return b.String(), nil
+	case 20:
+		_, text := Figure20(env)
+		return text, nil
+	default:
+		return "", fmt.Errorf("experiments: no figure %d", n)
+	}
+}
+
+// AllTables lists the reproduced table numbers.
+var AllTables = []int{1, 2, 3, 4, 5, 6, 7}
+
+// AllFigures lists the reproduced figure numbers.
+var AllFigures = []int{3, 4, 6, 7, 8, 12, 13, 14, 20}
+
+// RunAll regenerates every table and figure, concatenated.
+func RunAll(env *Env) (string, error) {
+	var b strings.Builder
+	for _, n := range AllTables {
+		text, err := RunTable(env, n)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(text)
+		b.WriteString("\n")
+	}
+	for _, n := range AllFigures {
+		text, err := RunFigure(env, n)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(text)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTableUnknown(t *testing.T) {
+	env := testEnv(t)
+	if _, err := RunTable(env, 99); err == nil {
+		t.Fatal("unknown table should error")
+	}
+	if _, err := RunTable(env, 0); err == nil {
+		t.Fatal("table 0 should error")
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	env := testEnv(t)
+	if _, err := RunFigure(env, 5); err == nil {
+		t.Fatal("figure 5 is not in the paper's evaluation")
+	}
+}
+
+func TestRunEveryTable(t *testing.T) {
+	env := testEnv(t)
+	for _, n := range AllTables {
+		text, err := RunTable(env, n)
+		if err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+		if len(text) == 0 {
+			t.Fatalf("table %d: empty rendering", n)
+		}
+	}
+}
+
+func TestRunEveryFigure(t *testing.T) {
+	env := testEnv(t)
+	for _, n := range AllFigures {
+		text, err := RunFigure(env, n)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		if len(text) == 0 {
+			t.Fatalf("figure %d: empty rendering", n)
+		}
+	}
+}
+
+func TestRunAllConcatenates(t *testing.T) {
+	env := testEnv(t)
+	text, err := RunAll(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 5", "Figure 3", "Figure 14", "Figure 20"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("RunAll missing %q", want)
+		}
+	}
+}

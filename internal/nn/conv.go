@@ -1,0 +1,107 @@
+package nn
+
+import "math/rand"
+
+// Conv1D is one bank of K convolution kernels of a fixed window width
+// over a sequence of d-dimensional token embeddings, followed by ReLU
+// and max-over-time pooling (Section 5.3 / Figure 11). Each kernel k
+// produces pooled[k] = max_j relu(w_k · x_{j:j+m-1} + b_k).
+type Conv1D struct {
+	W, B  *Param
+	Width int // window size m
+	In    int // embedding dimension d
+	K     int // number of kernels
+}
+
+// NewConv1D allocates a kernel bank.
+func NewConv1D(name string, width, in, k int, rng *rand.Rand) *Conv1D {
+	scale := XavierScale(width*in, k)
+	return &Conv1D{
+		W:     NewParam(name+".W", k*width*in, UniformInit(rng, scale)),
+		B:     NewParam(name+".b", k, nil),
+		Width: width, In: in, K: k,
+	}
+}
+
+// Params returns the layer's parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ConvCache stores the forward state needed by Backward.
+type ConvCache struct {
+	xs     [][]float64
+	argmax []int     // winning window start per kernel (-1: all <= 0)
+	pre    []float64 // pre-ReLU activation at the winning position
+}
+
+// Forward computes the pooled feature vector. Sequences shorter than
+// the window are implicitly zero-padded on the right.
+func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
+	n := len(xs)
+	positions := n - c.Width + 1
+	if positions < 1 {
+		positions = 1
+	}
+	pooled := make([]float64, c.K)
+	cache := &ConvCache{xs: xs, argmax: make([]int, c.K), pre: make([]float64, c.K)}
+	for k := 0; k < c.K; k++ {
+		w := c.W.W[k*c.Width*c.In : (k+1)*c.Width*c.In]
+		best := 0.0
+		bestPos := -1
+		bestPre := 0.0
+		for j := 0; j < positions; j++ {
+			sum := c.B.W[k]
+			for t := 0; t < c.Width; t++ {
+				if j+t >= n {
+					break // zero padding
+				}
+				row := xs[j+t]
+				wOff := t * c.In
+				for i, xi := range row {
+					sum += w[wOff+i] * xi
+				}
+			}
+			if sum > best {
+				best = sum
+				bestPos = j
+				bestPre = sum
+			}
+		}
+		pooled[k] = best // ReLU(max) == max(0, max_j pre_j)
+		cache.argmax[k] = bestPos
+		cache.pre[k] = bestPre
+	}
+	return pooled, cache
+}
+
+// Backward routes dpooled through the max and ReLU into the inputs and
+// parameters, returning dL/dxs.
+func (c *Conv1D) Backward(cache *ConvCache, dpooled []float64) [][]float64 {
+	n := len(cache.xs)
+	dxs := make([][]float64, n)
+	for i := range dxs {
+		dxs[i] = make([]float64, c.In)
+	}
+	for k := 0; k < c.K; k++ {
+		g := dpooled[k]
+		pos := cache.argmax[k]
+		if g == 0 || pos < 0 {
+			continue // ReLU killed the activation or no positive window
+		}
+		w := c.W.W[k*c.Width*c.In : (k+1)*c.Width*c.In]
+		gw := c.W.G[k*c.Width*c.In : (k+1)*c.Width*c.In]
+		c.B.G[k] += g
+		for t := 0; t < c.Width; t++ {
+			if pos+t >= n {
+				break
+			}
+			row := cache.xs[pos+t]
+			drow := dxs[pos+t]
+			wOff := t * c.In
+			for i, xi := range row {
+				gw[wOff+i] += g * xi
+				drow[i] += g * w[wOff+i]
+			}
+		}
+	}
+	return dxs
+}

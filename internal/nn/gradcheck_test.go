@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad computes a centered finite-difference gradient of loss()
+// with respect to every value in p.
+func numericGrad(p *Param, loss func() float64) []float64 {
+	const eps = 1e-5
+	grad := make([]float64, len(p.W))
+	for i := range p.W {
+		orig := p.W[i]
+		p.W[i] = orig + eps
+		up := loss()
+		p.W[i] = orig - eps
+		down := loss()
+		p.W[i] = orig
+		grad[i] = (up - down) / (2 * eps)
+	}
+	return grad
+}
+
+func maxRelErr(analytic, numeric []float64) float64 {
+	worst := 0.0
+	for i := range analytic {
+		denom := math.Max(math.Abs(analytic[i])+math.Abs(numeric[i]), 1e-8)
+		rel := math.Abs(analytic[i]-numeric[i]) / denom
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+func zeroAll(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+func TestDenseGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 4, 3, rng)
+	x := []float64{0.5, -0.2, 0.8, 0.1}
+	label := 1
+	loss := func() float64 {
+		l, _, _ := SoftmaxCE(d.Forward(x), label)
+		return l
+	}
+	_, _, dlogits := SoftmaxCE(d.Forward(x), label)
+	zeroAll(d.Params())
+	dx := d.Backward(x, dlogits)
+	for _, p := range d.Params() {
+		num := numericGrad(p, loss)
+		if err := maxRelErr(p.G, num); err > 1e-5 {
+			t.Fatalf("%s grad error %v", p.Name, err)
+		}
+	}
+	// Input gradient via perturbing x.
+	for i := range x {
+		const eps = 1e-5
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-6 {
+			t.Fatalf("dx[%d] = %v, numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestEmbeddingGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding("e", 5, 3, rng)
+	d := NewDense("d", 3, 2, rng)
+	ids := []int{1, 3, 1}
+	loss := func() float64 {
+		xs := e.Forward(ids)
+		sum := make([]float64, 3)
+		for _, x := range xs {
+			for i, v := range x {
+				sum[i] += v
+			}
+		}
+		l, _, _ := SoftmaxCE(d.Forward(sum), 0)
+		return l
+	}
+	xs := e.Forward(ids)
+	sum := make([]float64, 3)
+	for _, x := range xs {
+		for i, v := range x {
+			sum[i] += v
+		}
+	}
+	_, _, dlogits := SoftmaxCE(d.Forward(sum), 0)
+	zeroAll(append(e.Params(), d.Params()...))
+	dsum := d.Backward(sum, dlogits)
+	dxs := make([][]float64, len(ids))
+	for i := range dxs {
+		dxs[i] = dsum
+	}
+	e.Backward(ids, dxs)
+	num := numericGrad(e.P, loss)
+	if err := maxRelErr(e.P.G, num); err > 1e-5 {
+		t.Fatalf("embedding grad error %v", err)
+	}
+}
+
+func TestConv1DGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv1D("c", 2, 3, 4, rng)
+	fc := NewDense("fc", 4, 2, rng)
+	xs := [][]float64{
+		{0.3, -0.1, 0.5}, {0.8, 0.2, -0.4}, {-0.2, 0.6, 0.1}, {0.4, 0.4, 0.4},
+	}
+	loss := func() float64 {
+		pooled, _ := conv.Forward(xs)
+		l, _, _ := SoftmaxCE(fc.Forward(pooled), 1)
+		return l
+	}
+	pooled, cache := conv.Forward(xs)
+	_, _, dlogits := SoftmaxCE(fc.Forward(pooled), 1)
+	zeroAll(append(conv.Params(), fc.Params()...))
+	dpooled := fc.Backward(pooled, dlogits)
+	dxs := conv.Backward(cache, dpooled)
+	for _, p := range conv.Params() {
+		num := numericGrad(p, loss)
+		if err := maxRelErr(p.G, num); err > 1e-4 {
+			t.Fatalf("%s grad error %v", p.Name, err)
+		}
+	}
+	// Input gradients.
+	for ti := range xs {
+		for i := range xs[ti] {
+			const eps = 1e-5
+			orig := xs[ti][i]
+			xs[ti][i] = orig + eps
+			up := loss()
+			xs[ti][i] = orig - eps
+			down := loss()
+			xs[ti][i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-dxs[ti][i]) > 1e-5 {
+				t.Fatalf("dxs[%d][%d] = %v, numeric %v", ti, i, dxs[ti][i], num)
+			}
+		}
+	}
+}
+
+func TestConv1DShortSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv := NewConv1D("c", 5, 3, 2, rng)
+	xs := [][]float64{{0.1, 0.2, 0.3}} // shorter than the window
+	pooled, cache := conv.Forward(xs)
+	if len(pooled) != 2 {
+		t.Fatalf("pooled len = %d", len(pooled))
+	}
+	dxs := conv.Backward(cache, []float64{1, 1})
+	if len(dxs) != 1 {
+		t.Fatalf("dxs len = %d", len(dxs))
+	}
+}
+
+func TestLSTMLayerGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLSTMLayer("l", 3, 4, rng)
+	fc := NewDense("fc", 4, 2, rng)
+	xs := [][]float64{
+		{0.2, -0.3, 0.5}, {0.7, 0.1, -0.2}, {-0.4, 0.6, 0.3},
+	}
+	loss := func() float64 {
+		hs, _ := l.Forward(xs)
+		lv, _, _ := SoftmaxCE(fc.Forward(hs[len(hs)-1]), 0)
+		return lv
+	}
+	hs, cache := l.Forward(xs)
+	_, _, dlogits := SoftmaxCE(fc.Forward(hs[len(hs)-1]), 0)
+	zeroAll(append(l.Params(), fc.Params()...))
+	dlast := fc.Backward(hs[len(hs)-1], dlogits)
+	dhs := make([][]float64, len(xs))
+	dhs[len(xs)-1] = dlast
+	dxs := l.Backward(cache, dhs)
+	for _, p := range l.Params() {
+		num := numericGrad(p, loss)
+		if err := maxRelErr(p.G, num); err > 1e-4 {
+			t.Fatalf("%s grad error %v", p.Name, err)
+		}
+	}
+	// Input gradients.
+	for ti := range xs {
+		for i := range xs[ti] {
+			const eps = 1e-5
+			orig := xs[ti][i]
+			xs[ti][i] = orig + eps
+			up := loss()
+			xs[ti][i] = orig - eps
+			down := loss()
+			xs[ti][i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-dxs[ti][i]) > 1e-5 {
+				t.Fatalf("dxs[%d][%d] = %v, numeric %v", ti, i, dxs[ti][i], num)
+			}
+		}
+	}
+}
+
+func TestCNNModelGradcheckClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewCNN(CNNConfig{Vocab: 8, Embed: 4, Widths: []int{2, 3}, Kernels: 3, Outputs: 3}, rng)
+	ids := []int{1, 4, 2, 7, 3}
+	label := 2
+	loss := func() float64 {
+		out, _ := m.Forward(ids, false, nil)
+		l, _, _ := SoftmaxCE(out, label)
+		return l
+	}
+	out, cache := m.Forward(ids, false, nil)
+	_, _, dlogits := SoftmaxCE(out, label)
+	zeroAll(m.Params())
+	m.Backward(ids, cache, dlogits)
+	for _, p := range m.Params() {
+		num := numericGrad(p, loss)
+		if err := maxRelErr(p.G, num); err > 1e-4 {
+			t.Fatalf("%s grad error %v", p.Name, err)
+		}
+	}
+}
+
+func TestLSTMModelGradcheckRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewLSTM(LSTMConfig{Vocab: 8, Embed: 3, Hidden: 4, Layers: 2, Outputs: 1}, rng)
+	ids := []int{2, 5, 1}
+	target := 1.7
+	loss := func() float64 {
+		out, _ := m.Forward(ids, false, nil)
+		l, _ := HuberLoss(out[0], target, 1)
+		return l
+	}
+	out, cache := m.Forward(ids, false, nil)
+	_, dpred := HuberLoss(out[0], target, 1)
+	zeroAll(m.Params())
+	m.Backward(ids, cache, []float64{dpred})
+	for _, p := range m.Params() {
+		num := numericGrad(p, loss)
+		if err := maxRelErr(p.G, num); err > 1e-4 {
+			t.Fatalf("%s grad error %v", p.Name, err)
+		}
+	}
+}
+
+func TestCNNModelEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewCNN(CNNConfig{Vocab: 4, Embed: 3, Kernels: 2, Outputs: 2}, rng)
+	out, cache := m.Forward(nil, false, nil)
+	if len(out) != 2 {
+		t.Fatalf("out len = %d", len(out))
+	}
+	m.Backward(nil, cache, []float64{0.1, -0.1})
+}
+
+func TestLSTMModelEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewLSTM(LSTMConfig{Vocab: 4, Embed: 3, Hidden: 4, Layers: 1, Outputs: 2}, rng)
+	out, cache := m.Forward(nil, false, nil)
+	if len(out) != 2 {
+		t.Fatalf("out len = %d", len(out))
+	}
+	m.Backward(nil, cache, []float64{0.1, -0.1})
+}

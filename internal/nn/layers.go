@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Embedding maps token ids to d-dimensional distributed representations
+// (Definition 2: x_i = X e_i).
+type Embedding struct {
+	P    *Param
+	V, D int
+}
+
+// NewEmbedding allocates a V x D embedding matrix.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	scale := XavierScale(vocab, dim)
+	return &Embedding{
+		P: NewParam(name, vocab*dim, UniformInit(rng, scale)),
+		V: vocab, D: dim,
+	}
+}
+
+// Forward returns the embedding rows for ids. Rows are copies so the
+// caller may mutate them.
+func (e *Embedding) Forward(ids []int) [][]float64 {
+	out := make([][]float64, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= e.V {
+			id = 0
+		}
+		row := make([]float64, e.D)
+		copy(row, e.P.W[id*e.D:(id+1)*e.D])
+		out[i] = row
+	}
+	return out
+}
+
+// Backward accumulates gradients for the rows selected by ids.
+func (e *Embedding) Backward(ids []int, dx [][]float64) {
+	for i, id := range ids {
+		if id < 0 || id >= e.V {
+			id = 0
+		}
+		g := e.P.G[id*e.D : (id+1)*e.D]
+		for j, v := range dx[i] {
+			g[j] += v
+		}
+	}
+}
+
+// Params returns the layer's parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.P} }
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	W, B    *Param
+	In, Out int
+}
+
+// NewDense allocates an Out x In dense layer.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	scale := XavierScale(in, out)
+	return &Dense{
+		W:  NewParam(name+".W", out*in, UniformInit(rng, scale)),
+		B:  NewParam(name+".b", out, nil),
+		In: in, Out: out,
+	}
+}
+
+// Forward computes Wx + b.
+func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		w := d.W.W[o*d.In : (o+1)*d.In]
+		sum := d.B.W[o]
+		for i, xi := range x {
+			sum += w[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns dL/dx.
+func (d *Dense) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		w := d.W.W[o*d.In : (o+1)*d.In]
+		gw := d.W.G[o*d.In : (o+1)*d.In]
+		d.B.G[o] += g
+		for i, xi := range x {
+			gw[i] += g * xi
+			dx[i] += g * w[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Dropout masks vector entries with probability p at train time,
+// scaling survivors by 1/(1-p) (inverted dropout).
+type Dropout struct {
+	P float64
+}
+
+// Forward applies dropout, returning the output and the mask used.
+// At evaluation time (train=false) it is the identity with a nil mask.
+func (dr *Dropout) Forward(x []float64, train bool, rng *rand.Rand) ([]float64, []float64) {
+	if !train || dr.P <= 0 {
+		return x, nil
+	}
+	keep := 1 - dr.P
+	out := make([]float64, len(x))
+	mask := make([]float64, len(x))
+	for i := range x {
+		if rng.Float64() < keep {
+			mask[i] = 1 / keep
+			out[i] = x[i] * mask[i]
+		}
+	}
+	return out, mask
+}
+
+// Backward routes gradients through the mask.
+func (dr *Dropout) Backward(dy, mask []float64) []float64 {
+	if mask == nil {
+		return dy
+	}
+	dx := make([]float64, len(dy))
+	for i := range dy {
+		dx[i] = dy[i] * mask[i]
+	}
+	return dx
+}
+
+// Softmax returns the softmax distribution of logits (numerically
+// stable).
+func Softmax(logits []float64) []float64 {
+	maxL := logits[0]
+	for _, v := range logits {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxL)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxCE computes cross-entropy loss for the true label and the
+// gradient with respect to the logits (probs - onehot).
+func SoftmaxCE(logits []float64, label int) (loss float64, probs, dlogits []float64) {
+	probs = Softmax(logits)
+	p := probs[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss = -math.Log(p)
+	dlogits = make([]float64, len(logits))
+	copy(dlogits, probs)
+	dlogits[label] -= 1
+	return loss, probs, dlogits
+}
+
+// HuberLoss computes the Huber loss (delta threshold) of a scalar
+// prediction and its gradient with respect to the prediction.
+func HuberLoss(pred, target, delta float64) (loss, dpred float64) {
+	r := pred - target
+	if math.Abs(r) <= delta {
+		return 0.5 * r * r, r
+	}
+	if r > 0 {
+		return delta * (math.Abs(r) - 0.5*delta), delta
+	}
+	return delta * (math.Abs(r) - 0.5*delta), -delta
+}
+
+// Relu applies max(0, x) elementwise in place and returns x.
+func Relu(x []float64) []float64 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTMLayer is one LSTM layer following the formulation of Appendix
+// A.2 (Zaremba & Sutskever variant):
+//
+//	c~ = tanh(Wc x + Uc h + bc)
+//	Γu = σ(Wu x + Uu h + bu)    (input/update gate)
+//	Γf = σ(Wf x + Uf h + bf)    (forget gate)
+//	Γo = σ(Wo x + Uo h + bo)    (output gate)
+//	c  = Γu ⊙ c~ + Γf ⊙ c_prev
+//	h  = Γo ⊙ tanh(c)
+//
+// Gate weights are packed in order [candidate, update, forget, output].
+type LSTMLayer struct {
+	Wx, Wh, B *Param
+	In, H     int
+}
+
+// NewLSTMLayer allocates a layer mapping In-dim inputs to H-dim hidden
+// states. The forget-gate bias starts at 1 (standard practice that
+// stabilizes early training).
+func NewLSTMLayer(name string, in, hidden int, rng *rand.Rand) *LSTMLayer {
+	scaleX := XavierScale(in, hidden)
+	scaleH := XavierScale(hidden, hidden)
+	l := &LSTMLayer{
+		Wx: NewParam(name+".Wx", 4*hidden*in, UniformInit(rng, scaleX)),
+		Wh: NewParam(name+".Wh", 4*hidden*hidden, UniformInit(rng, scaleH)),
+		B:  NewParam(name+".b", 4*hidden, nil),
+		In: in, H: hidden,
+	}
+	for i := 2 * hidden; i < 3*hidden; i++ { // forget-gate block
+		l.B.W[i] = 1
+	}
+	return l
+}
+
+// Params returns the layer's parameters.
+func (l *LSTMLayer) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// LSTMCache stores the forward activations needed by BPTT.
+type LSTMCache struct {
+	xs [][]float64 // inputs per step
+	// per step: candidate (tanh), update, forget, output gate values
+	cand, gu, gf, go_ [][]float64
+	cs, tanhCs        [][]float64 // cell states and their tanh
+	hs                [][]float64 // hidden states (outputs)
+}
+
+// Hidden returns the sequence of hidden states.
+func (c *LSTMCache) Hidden() [][]float64 { return c.hs }
+
+// Forward runs the layer over the input sequence, returning hidden
+// states for every step and the cache for Backward.
+func (l *LSTMLayer) Forward(xs [][]float64) ([][]float64, *LSTMCache) {
+	n := len(xs)
+	h := l.H
+	cache := &LSTMCache{
+		xs:   xs,
+		cand: make([][]float64, n), gu: make([][]float64, n),
+		gf: make([][]float64, n), go_: make([][]float64, n),
+		cs: make([][]float64, n), tanhCs: make([][]float64, n),
+		hs: make([][]float64, n),
+	}
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	for t := 0; t < n; t++ {
+		pre := make([]float64, 4*h)
+		copy(pre, l.B.W)
+		x := xs[t]
+		for g := 0; g < 4*h; g++ {
+			row := l.Wx.W[g*l.In : (g+1)*l.In]
+			sum := pre[g]
+			for i, xi := range x {
+				sum += row[i] * xi
+			}
+			rowH := l.Wh.W[g*h : (g+1)*h]
+			for i, hi := range hPrev {
+				sum += rowH[i] * hi
+			}
+			pre[g] = sum
+		}
+		cand := make([]float64, h)
+		gu := make([]float64, h)
+		gf := make([]float64, h)
+		gout := make([]float64, h)
+		c := make([]float64, h)
+		tc := make([]float64, h)
+		hVec := make([]float64, h)
+		for i := 0; i < h; i++ {
+			cand[i] = math.Tanh(pre[i])
+			gu[i] = sigmoid(pre[h+i])
+			gf[i] = sigmoid(pre[2*h+i])
+			gout[i] = sigmoid(pre[3*h+i])
+			c[i] = gu[i]*cand[i] + gf[i]*cPrev[i]
+			tc[i] = math.Tanh(c[i])
+			hVec[i] = gout[i] * tc[i]
+		}
+		cache.cand[t], cache.gu[t], cache.gf[t], cache.go_[t] = cand, gu, gf, gout
+		cache.cs[t], cache.tanhCs[t], cache.hs[t] = c, tc, hVec
+		hPrev, cPrev = hVec, c
+	}
+	return cache.hs, cache
+}
+
+// Backward runs BPTT. dhs[t] is the gradient flowing into h_t from
+// above (nil entries mean zero). It returns gradients with respect to
+// the inputs and accumulates parameter gradients.
+func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
+	n := len(cache.xs)
+	h := l.H
+	dxs := make([][]float64, n)
+	dhNext := make([]float64, h)
+	dcNext := make([]float64, h)
+	for t := n - 1; t >= 0; t-- {
+		dh := make([]float64, h)
+		copy(dh, dhNext)
+		if t < len(dhs) && dhs[t] != nil {
+			for i, v := range dhs[t] {
+				dh[i] += v
+			}
+		}
+		cand, gu, gf, gout := cache.cand[t], cache.gu[t], cache.gf[t], cache.go_[t]
+		tc := cache.tanhCs[t]
+		var cPrev []float64
+		if t > 0 {
+			cPrev = cache.cs[t-1]
+		} else {
+			cPrev = make([]float64, h)
+		}
+		// Gradients through h = go * tanh(c).
+		dpre := make([]float64, 4*h)
+		dc := make([]float64, h)
+		for i := 0; i < h; i++ {
+			dgo := dh[i] * tc[i]
+			dci := dh[i]*gout[i]*(1-tc[i]*tc[i]) + dcNext[i]
+			dc[i] = dci
+			dcand := dci * gu[i]
+			dgu := dci * cand[i]
+			dgf := dci * cPrev[i]
+			dpre[i] = dcand * (1 - cand[i]*cand[i])
+			dpre[h+i] = dgu * gu[i] * (1 - gu[i])
+			dpre[2*h+i] = dgf * gf[i] * (1 - gf[i])
+			dpre[3*h+i] = dgo * gout[i] * (1 - gout[i])
+		}
+		// Parameter and input gradients.
+		x := cache.xs[t]
+		var hPrev []float64
+		if t > 0 {
+			hPrev = cache.hs[t-1]
+		}
+		dx := make([]float64, l.In)
+		dhPrev := make([]float64, h)
+		for g := 0; g < 4*h; g++ {
+			gr := dpre[g]
+			if gr == 0 {
+				continue
+			}
+			l.B.G[g] += gr
+			rowX := l.Wx.W[g*l.In : (g+1)*l.In]
+			gRowX := l.Wx.G[g*l.In : (g+1)*l.In]
+			for i, xi := range x {
+				gRowX[i] += gr * xi
+				dx[i] += gr * rowX[i]
+			}
+			rowH := l.Wh.W[g*h : (g+1)*h]
+			gRowH := l.Wh.G[g*h : (g+1)*h]
+			if hPrev != nil {
+				for i, hi := range hPrev {
+					gRowH[i] += gr * hi
+					dhPrev[i] += gr * rowH[i]
+				}
+			}
+		}
+		dxs[t] = dx
+		dhNext = dhPrev
+		// dcNext flows via the forget gate.
+		for i := 0; i < h; i++ {
+			dcNext[i] = dc[i] * gf[i]
+		}
+	}
+	return dxs
+}

@@ -1,0 +1,189 @@
+package nn
+
+import "math/rand"
+
+// Model is a sequence model mapping token-id sequences to output
+// vectors (class logits, or a single regression value).
+type Model interface {
+	// Forward runs the network. The returned cache must be passed to
+	// Backward. rng drives dropout at train time.
+	Forward(ids []int, train bool, rng *rand.Rand) (out []float64, cache any)
+	// Backward accumulates parameter gradients given dL/dout.
+	Backward(ids []int, cache any, dout []float64)
+	// Params returns all learnable parameters.
+	Params() []*Param
+}
+
+// CNNConfig configures the shallow CNN of Section 5.3.
+type CNNConfig struct {
+	Vocab   int
+	Embed   int
+	Widths  []int // kernel window sizes; the paper uses {3,4,5}
+	Kernels int   // kernels per width
+	Dropout float64
+	Outputs int // #classes, or 1 for regression
+}
+
+// CNNModel implements Kim's architecture: embedding, parallel kernel
+// banks with ReLU and max-over-time pooling, dropout, and a fully
+// connected output layer.
+type CNNModel struct {
+	cfg   CNNConfig
+	Emb   *Embedding
+	Convs []*Conv1D
+	Drop  Dropout
+	FC    *Dense
+}
+
+// NewCNN builds a CNN model.
+func NewCNN(cfg CNNConfig, rng *rand.Rand) *CNNModel {
+	if len(cfg.Widths) == 0 {
+		cfg.Widths = []int{3, 4, 5}
+	}
+	m := &CNNModel{cfg: cfg, Drop: Dropout{P: cfg.Dropout}}
+	m.Emb = NewEmbedding("emb", cfg.Vocab, cfg.Embed, rng)
+	for _, w := range cfg.Widths {
+		m.Convs = append(m.Convs, NewConv1D("conv", w, cfg.Embed, cfg.Kernels, rng))
+	}
+	m.FC = NewDense("fc", cfg.Kernels*len(cfg.Widths), cfg.Outputs, rng)
+	return m
+}
+
+type cnnCache struct {
+	xs     [][]float64
+	convs  []*ConvCache
+	pooled []float64 // concatenated, pre-dropout
+	masked []float64 // post-dropout (input to FC)
+	mask   []float64
+}
+
+// Forward implements Model.
+func (m *CNNModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, any) {
+	xs := m.Emb.Forward(ids)
+	cache := &cnnCache{xs: xs}
+	pooled := make([]float64, 0, m.cfg.Kernels*len(m.Convs))
+	for _, conv := range m.Convs {
+		p, cc := conv.Forward(xs)
+		cache.convs = append(cache.convs, cc)
+		pooled = append(pooled, p...)
+	}
+	cache.pooled = pooled
+	masked, mask := m.Drop.Forward(pooled, train, rng)
+	cache.masked, cache.mask = masked, mask
+	return m.FC.Forward(masked), cache
+}
+
+// Backward implements Model.
+func (m *CNNModel) Backward(ids []int, cacheAny any, dout []float64) {
+	cache := cacheAny.(*cnnCache)
+	dmasked := m.FC.Backward(cache.masked, dout)
+	dpooled := m.Drop.Backward(dmasked, cache.mask)
+	dxs := make([][]float64, len(cache.xs))
+	for i := range dxs {
+		dxs[i] = make([]float64, m.cfg.Embed)
+	}
+	off := 0
+	for ci, conv := range m.Convs {
+		dslice := dpooled[off : off+m.cfg.Kernels]
+		dconv := conv.Backward(cache.convs[ci], dslice)
+		for t := range dconv {
+			for i, v := range dconv[t] {
+				dxs[t][i] += v
+			}
+		}
+		off += m.cfg.Kernels
+	}
+	m.Emb.Backward(ids, dxs)
+}
+
+// Params implements Model.
+func (m *CNNModel) Params() []*Param {
+	params := m.Emb.Params()
+	for _, c := range m.Convs {
+		params = append(params, c.Params()...)
+	}
+	return append(params, m.FC.Params()...)
+}
+
+// LSTMConfig configures the stacked LSTM of Section 5.2.
+type LSTMConfig struct {
+	Vocab   int
+	Embed   int
+	Hidden  int
+	Layers  int // the paper uses 3
+	Outputs int
+}
+
+// LSTMModel is the three-layer LSTM: embedding, stacked LSTM layers,
+// and a fully connected layer over the final hidden state h^3_n
+// (Figure 18).
+type LSTMModel struct {
+	cfg    LSTMConfig
+	Emb    *Embedding
+	Layers []*LSTMLayer
+	FC     *Dense
+}
+
+// NewLSTM builds a stacked LSTM model.
+func NewLSTM(cfg LSTMConfig, rng *rand.Rand) *LSTMModel {
+	if cfg.Layers <= 0 {
+		cfg.Layers = 3
+	}
+	m := &LSTMModel{cfg: cfg}
+	m.Emb = NewEmbedding("emb", cfg.Vocab, cfg.Embed, rng)
+	in := cfg.Embed
+	for l := 0; l < cfg.Layers; l++ {
+		m.Layers = append(m.Layers, NewLSTMLayer("lstm", in, cfg.Hidden, rng))
+		in = cfg.Hidden
+	}
+	m.FC = NewDense("fc", cfg.Hidden, cfg.Outputs, rng)
+	return m
+}
+
+type lstmModelCache struct {
+	layerCaches []*LSTMCache
+	last        []float64 // final hidden state of the top layer
+}
+
+// Forward implements Model. Empty sequences are padded with the
+// unknown token so the network always has at least one step.
+func (m *LSTMModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, any) {
+	if len(ids) == 0 {
+		ids = []int{0}
+	}
+	xs := m.Emb.Forward(ids)
+	cache := &lstmModelCache{}
+	for _, layer := range m.Layers {
+		hs, lc := layer.Forward(xs)
+		cache.layerCaches = append(cache.layerCaches, lc)
+		xs = hs
+	}
+	cache.last = xs[len(xs)-1]
+	return m.FC.Forward(cache.last), cache
+}
+
+// Backward implements Model.
+func (m *LSTMModel) Backward(ids []int, cacheAny any, dout []float64) {
+	if len(ids) == 0 {
+		ids = []int{0}
+	}
+	cache := cacheAny.(*lstmModelCache)
+	dlast := m.FC.Backward(cache.last, dout)
+	n := len(cache.layerCaches[0].xs)
+	// Gradient into the top layer arrives only at the last step.
+	dhs := make([][]float64, n)
+	dhs[n-1] = dlast
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		dhs = m.Layers[l].Backward(cache.layerCaches[l], dhs)
+	}
+	m.Emb.Backward(ids, dhs)
+}
+
+// Params implements Model.
+func (m *LSTMModel) Params() []*Param {
+	params := m.Emb.Params()
+	for _, l := range m.Layers {
+		params = append(params, l.Params()...)
+	}
+	return append(params, m.FC.Params()...)
+}

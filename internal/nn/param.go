@@ -1,0 +1,96 @@
+// Package nn is a from-scratch neural-network engine implementing
+// exactly the architectures of Section 5 of the paper: token embedding
+// layers, three-layer LSTMs trained with backpropagation through time
+// (Section 5.2 / Appendix A.2), and the shallow convolutional network
+// of Kim (2014) with kernel widths {3,4,5}, ReLU, max-over-time
+// pooling, and dropout (Section 5.3). Training uses cross-entropy for
+// classification and Huber loss for regression, optimized with Adam or
+// AdaMax and gradient clipping, as in the paper's setup (Section 6.1).
+//
+// The implementation is deliberately simple (float64 slices, explicit
+// loops, no SIMD or GPU) but numerically correct: every layer has a
+// finite-difference gradient test.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient and optimizer state.
+type Param struct {
+	Name string
+	W    []float64 // values
+	G    []float64 // gradient accumulator
+	// Optimizer state (first/second moments), allocated lazily.
+	m, v []float64
+}
+
+// NewParam allocates a parameter of the given size initialized by init.
+func NewParam(name string, size int, init func(i int) float64) *Param {
+	p := &Param{Name: name, W: make([]float64, size), G: make([]float64, size)}
+	if init != nil {
+		for i := range p.W {
+			p.W[i] = init(i)
+		}
+	}
+	return p
+}
+
+// UniformInit returns an initializer drawing from U(-scale, +scale).
+func UniformInit(rng *rand.Rand, scale float64) func(int) float64 {
+	return func(int) float64 { return (rng.Float64()*2 - 1) * scale }
+}
+
+// XavierScale is the Glorot uniform bound for a fanIn x fanOut layer.
+func XavierScale(fanIn, fanOut int) float64 {
+	return math.Sqrt(6.0 / float64(fanIn+fanOut))
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Size returns the number of scalar values.
+func (p *Param) Size() int { return len(p.W) }
+
+// ParamCount sums the sizes of params (the paper reports per-model
+// parameter counts in Tables 2, 4, and 5).
+func ParamCount(params []*Param) int {
+	total := 0
+	for _, p := range params {
+		total += p.Size()
+	}
+	return total
+}
+
+// GradNorm computes the global L2 norm across all parameter gradients.
+func GradNorm(params []*Param) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipGradNorm rescales all gradients so the global norm is at most c.
+func ClipGradNorm(params []*Param, c float64) {
+	if c <= 0 {
+		return
+	}
+	norm := GradNorm(params)
+	if norm <= c || norm == 0 {
+		return
+	}
+	scale := c / norm
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+}

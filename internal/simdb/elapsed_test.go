@@ -1,0 +1,43 @@
+package simdb
+
+import "testing"
+
+func TestElapsedAtLeastCPUTime(t *testing.T) {
+	en := sdssEngine()
+	queries := []string{
+		"SELECT ra FROM PhotoObj WHERE type = 6",
+		"SELECT COUNT(*) FROM Galaxy WHERE r < 22",
+		"SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018",
+	}
+	for _, q := range queries {
+		r := en.Execute(q)
+		if r.Error != Success {
+			t.Fatalf("%q: %+v", q, r)
+		}
+		if r.Elapsed < r.CPUTime {
+			t.Fatalf("%q: elapsed %v < cpu %v", q, r.Elapsed, r.CPUTime)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%q: elapsed must be positive", q)
+		}
+	}
+}
+
+func TestElapsedDeterministic(t *testing.T) {
+	en := sdssEngine()
+	q := "SELECT ra FROM PhotoObj WHERE type = 6"
+	if en.Execute(q).Elapsed != en.Execute(q).Elapsed {
+		t.Fatal("elapsed must be deterministic per statement")
+	}
+}
+
+func TestElapsedOnErrorPaths(t *testing.T) {
+	en := sdssEngine()
+	if r := en.Execute("not sql"); r.Elapsed != 0 {
+		t.Fatalf("severe: elapsed = %v, want 0", r.Elapsed)
+	}
+	r := en.Execute("SELECT nocolumn FROM PhotoObj")
+	if r.Error != NonSevere || r.Elapsed < r.CPUTime {
+		t.Fatalf("non-severe: %+v", r)
+	}
+}

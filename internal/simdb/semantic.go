@@ -1,0 +1,405 @@
+package simdb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// SemanticError reports a name-resolution failure: the query parsed but
+// references schema objects that do not exist in the catalog. The real
+// DBMS would accept the statement syntactically and fail at binding
+// time, which the paper's workload records as a non-severe error.
+type SemanticError struct {
+	Kind string // "table", "column", "function", "procedure"
+	Name string
+}
+
+func (e *SemanticError) Error() string {
+	return fmt.Sprintf("simdb: unknown %s %q", e.Kind, e.Name)
+}
+
+// scope is the name-resolution environment of one SELECT, chained to
+// enclosing scopes for correlated subqueries.
+type scope struct {
+	parent *scope
+	// tables maps alias (or bare table name) -> catalog table; derived
+	// tables map to nil with their column set in derived.
+	tables  map[string]*Table
+	derived map[string]map[string]bool // alias -> exported column names (nil = any)
+	order   []string                   // resolution order for bare columns
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{
+		parent:  parent,
+		tables:  map[string]*Table{},
+		derived: map[string]map[string]bool{},
+	}
+}
+
+func (s *scope) addTable(alias string, t *Table) {
+	key := strings.ToLower(alias)
+	s.tables[key] = t
+	s.order = append(s.order, key)
+}
+
+func (s *scope) addDerived(alias string, cols map[string]bool) {
+	key := strings.ToLower(alias)
+	s.derived[key] = cols
+	s.order = append(s.order, key)
+}
+
+// resolveQualified resolves qualifier.column. It reports ok=false when
+// the qualifier is unknown; col may be nil for derived tables.
+func (s *scope) resolveQualified(qualifier, column string) (col *Column, ok bool) {
+	key := strings.ToLower(qualifier)
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, found := sc.tables[key]; found {
+			if t == nil {
+				return nil, true
+			}
+			c := t.Column(column)
+			if c == nil {
+				return nil, false
+			}
+			return c, true
+		}
+		if cols, found := sc.derived[key]; found {
+			if cols == nil {
+				return nil, true
+			}
+			return nil, cols[strings.ToLower(column)]
+		}
+	}
+	return nil, false
+}
+
+// resolveBare resolves an unqualified column against every table in
+// scope (innermost first).
+func (s *scope) resolveBare(column string) (col *Column, ok bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		for _, key := range sc.order {
+			if t := sc.tables[key]; t != nil {
+				if c := t.Column(column); c != nil {
+					return c, true
+				}
+				continue
+			}
+			if cols, found := sc.derived[key]; found {
+				if cols == nil || cols[strings.ToLower(column)] {
+					return nil, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// analyzer performs semantic analysis of a statement against a catalog.
+type analyzer struct {
+	cat *Catalog
+}
+
+// Analyze checks that every table, column, function, and procedure a
+// statement references exists in the catalog. It returns nil on success
+// or the first *SemanticError found.
+func (c *Catalog) Analyze(stmt sqlparse.Statement) error {
+	a := &analyzer{cat: c}
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		_, err := a.analyzeSelect(s, nil)
+		return err
+	case *sqlparse.InsertStmt:
+		// INSERT targets user-writable space (SDSS MyDB); accept the
+		// target but validate a SELECT source.
+		if s.Select != nil {
+			_, err := a.analyzeSelect(s.Select, nil)
+			return err
+		}
+		return nil
+	case *sqlparse.UpdateStmt:
+		t := a.lookupTable(s.Table)
+		if t == nil && !isUserSpace(s.Table) {
+			return &SemanticError{Kind: "table", Name: tableDisplay(s.Table)}
+		}
+		return nil
+	case *sqlparse.DeleteStmt:
+		t := a.lookupTable(s.Table)
+		if t == nil && !isUserSpace(s.Table) {
+			return &SemanticError{Kind: "table", Name: tableDisplay(s.Table)}
+		}
+		return nil
+	case *sqlparse.CreateStmt, *sqlparse.AlterStmt:
+		return nil // DDL in user space
+	case *sqlparse.DropStmt:
+		return nil
+	case *sqlparse.ExecStmt:
+		bare := s.Proc
+		if i := strings.LastIndex(bare, "."); i >= 0 {
+			bare = bare[i+1:]
+		}
+		if c.Procedure(bare) == nil {
+			return &SemanticError{Kind: "procedure", Name: s.Proc}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// analyzeSelect resolves one SELECT and returns its scope.
+func (a *analyzer) analyzeSelect(sel *sqlparse.SelectStmt, parent *scope) (*scope, error) {
+	sc := newScope(parent)
+	for _, ref := range sel.From {
+		if err := a.bindTableRef(ref, sc); err != nil {
+			return nil, err
+		}
+	}
+	for _, item := range sel.Columns {
+		if item.Star {
+			continue
+		}
+		if err := a.checkExpr(item.Expr, sc); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Where != nil {
+		if err := a.checkExpr(sel.Where, sc); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if err := a.checkExpr(g, sc); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := a.checkExpr(sel.Having, sc); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		// ORDER BY may reference select-list aliases; tolerate
+		// resolution failures against aliases only.
+		if err := a.checkExpr(o.Expr, sc); err != nil {
+			if se, ok := err.(*SemanticError); ok && se.Kind == "column" && selectListAlias(sel, se.Name) {
+				continue
+			}
+			return nil, err
+		}
+	}
+	if sel.Next != nil {
+		if _, err := a.analyzeSelect(sel.Next, parent); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+func selectListAlias(sel *sqlparse.SelectStmt, name string) bool {
+	for _, item := range sel.Columns {
+		if strings.EqualFold(item.Alias, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) bindTableRef(ref sqlparse.TableRef, sc *scope) error {
+	switch r := ref.(type) {
+	case *sqlparse.TableName:
+		t := a.lookupTable(r)
+		if t == nil {
+			if isUserSpace(r) {
+				// MyDB/user tables are outside the shared catalog; treat
+				// as an opaque derived relation accepting any column.
+				alias := r.Alias
+				if alias == "" {
+					alias = r.Parts[len(r.Parts)-1]
+				}
+				sc.addDerived(alias, nil)
+				return nil
+			}
+			return &SemanticError{Kind: "table", Name: tableDisplay(r)}
+		}
+		if r.Alias != "" {
+			sc.addTable(r.Alias, t)
+		} else {
+			sc.addTable(r.Parts[len(r.Parts)-1], t)
+		}
+		return nil
+	case *sqlparse.JoinRef:
+		if err := a.bindTableRef(r.Left, sc); err != nil {
+			return err
+		}
+		if err := a.bindTableRef(r.Right, sc); err != nil {
+			return err
+		}
+		if r.On != nil {
+			return a.checkExpr(r.On, sc)
+		}
+		return nil
+	case *sqlparse.SubqueryRef:
+		inner, err := a.analyzeSelect(r.Select, sc.parent)
+		if err != nil {
+			return err
+		}
+		_ = inner
+		cols := exportedColumns(r.Select)
+		alias := r.Alias
+		if alias == "" {
+			alias = "_derived"
+		}
+		sc.addDerived(alias, cols)
+		return nil
+	}
+	return nil
+}
+
+// exportedColumns lists the output column names of a SELECT; nil means
+// "any column" (SELECT * passthrough).
+func exportedColumns(sel *sqlparse.SelectStmt) map[string]bool {
+	cols := map[string]bool{}
+	for _, item := range sel.Columns {
+		if item.Star {
+			return nil
+		}
+		switch {
+		case item.Alias != "":
+			cols[strings.ToLower(item.Alias)] = true
+		default:
+			if cr, ok := item.Expr.(*sqlparse.ColumnRef); ok {
+				cols[strings.ToLower(cr.Name())] = true
+			}
+		}
+	}
+	return cols
+}
+
+func (a *analyzer) lookupTable(name *sqlparse.TableName) *Table {
+	if name == nil || len(name.Parts) == 0 {
+		return nil
+	}
+	return a.cat.Table(name.Parts[len(name.Parts)-1])
+}
+
+// isUserSpace reports whether the table reference targets the user's
+// private database (SDSS CasJobs MyDB convention).
+func isUserSpace(name *sqlparse.TableName) bool {
+	for _, p := range name.Parts[:max(len(name.Parts)-1, 0)] {
+		lp := strings.ToLower(p)
+		if strings.HasPrefix(lp, "mydb") || strings.HasPrefix(lp, "sdsssql") {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func tableDisplay(name *sqlparse.TableName) string {
+	return strings.Join(name.Parts, ".")
+}
+
+func (a *analyzer) checkExpr(e sqlparse.Expr, sc *scope) error {
+	switch x := e.(type) {
+	case *sqlparse.ColumnRef:
+		return a.checkColumn(x, sc)
+	case *sqlparse.BinaryExpr:
+		if err := a.checkExpr(x.Left, sc); err != nil {
+			return err
+		}
+		return a.checkExpr(x.Right, sc)
+	case *sqlparse.UnaryExpr:
+		return a.checkExpr(x.Expr, sc)
+	case *sqlparse.FuncCall:
+		if a.cat.Function(x.BareName) == nil {
+			return &SemanticError{Kind: "function", Name: x.Name}
+		}
+		for _, arg := range x.Args {
+			if err := a.checkExpr(arg, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sqlparse.CastExpr:
+		return a.checkExpr(x.Expr, sc)
+	case *sqlparse.CaseExpr:
+		if x.Operand != nil {
+			if err := a.checkExpr(x.Operand, sc); err != nil {
+				return err
+			}
+		}
+		for _, w := range x.Whens {
+			if err := a.checkExpr(w.When, sc); err != nil {
+				return err
+			}
+			if err := a.checkExpr(w.Then, sc); err != nil {
+				return err
+			}
+		}
+		if x.Else != nil {
+			return a.checkExpr(x.Else, sc)
+		}
+		return nil
+	case *sqlparse.SubqueryExpr:
+		_, err := a.analyzeSelect(x.Select, sc)
+		return err
+	case *sqlparse.ExistsExpr:
+		_, err := a.analyzeSelect(x.Subquery, sc)
+		return err
+	case *sqlparse.InExpr:
+		if err := a.checkExpr(x.Expr, sc); err != nil {
+			return err
+		}
+		for _, item := range x.List {
+			if err := a.checkExpr(item, sc); err != nil {
+				return err
+			}
+		}
+		if x.Subquery != nil {
+			_, err := a.analyzeSelect(x.Subquery, sc)
+			return err
+		}
+		return nil
+	case *sqlparse.BetweenExpr:
+		if err := a.checkExpr(x.Expr, sc); err != nil {
+			return err
+		}
+		if err := a.checkExpr(x.Lo, sc); err != nil {
+			return err
+		}
+		return a.checkExpr(x.Hi, sc)
+	default:
+		return nil
+	}
+}
+
+func (a *analyzer) checkColumn(c *sqlparse.ColumnRef, sc *scope) error {
+	if sc == nil {
+		return nil
+	}
+	switch len(c.Parts) {
+	case 0:
+		return nil
+	case 1:
+		if _, ok := sc.resolveBare(c.Parts[0]); !ok {
+			return &SemanticError{Kind: "column", Name: c.Parts[0]}
+		}
+		return nil
+	default:
+		qualifier := c.Parts[len(c.Parts)-2]
+		column := c.Parts[len(c.Parts)-1]
+		if _, ok := sc.resolveQualified(qualifier, column); !ok {
+			return &SemanticError{Kind: "column", Name: strings.Join(c.Parts, ".")}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,303 @@
+// Package sqllex provides tokenizers for SQL query text.
+//
+// The paper (Definition 1) models a query as a sequence of tokens drawn
+// from one of two vocabularies: characters or words. Word-level
+// tokenization replaces runs of digits with a <DIGIT> token to control
+// vocabulary growth (Section 4.4.1). Both tokenizers must be robust to
+// arbitrary input: real workloads such as SDSS contain entries ranging
+// from valid SQL to random natural-language text.
+package sqllex
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// DigitToken is the placeholder substituted for numeric literals in
+// word-level tokenization, per Section 4.4.1 of the paper.
+const DigitToken = "<DIGIT>"
+
+// UnknownToken is the placeholder used by vocabularies for
+// out-of-vocabulary tokens.
+const UnknownToken = "<UNK>"
+
+// Chars splits a query into character-level tokens. Whitespace runs are
+// collapsed and dropped, matching the paper's character counting
+// convention ("48 tokens at the character level (excluding spaces)").
+func Chars(query string) []string {
+	tokens := make([]string, 0, len(query))
+	for _, r := range query {
+		if unicode.IsSpace(r) {
+			continue
+		}
+		tokens = append(tokens, string(r))
+	}
+	return tokens
+}
+
+// CharsWithSpace splits a query into character tokens keeping a single
+// space token between non-space runs. CNN models benefit from the word
+// boundary signal.
+func CharsWithSpace(query string) []string {
+	tokens := make([]string, 0, len(query))
+	pendingSpace := false
+	for _, r := range query {
+		if unicode.IsSpace(r) {
+			pendingSpace = len(tokens) > 0
+			continue
+		}
+		if pendingSpace {
+			tokens = append(tokens, " ")
+			pendingSpace = false
+		}
+		tokens = append(tokens, string(r))
+	}
+	return tokens
+}
+
+// Words splits a query into word-level tokens. Identifiers and keywords
+// become single tokens; punctuation and operators are tokens of their
+// own; numeric literals are replaced by DigitToken. SQL string literals
+// are kept as single tokens (their content is usually a constant and is
+// digit-normalized as well).
+func Words(query string) []string {
+	var tokens []string
+	runes := []rune(query)
+	n := len(runes)
+	i := 0
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isIdentStart(r):
+			j := i
+			for j < n && isIdentPart(runes[j]) {
+				j++
+			}
+			tokens = append(tokens, string(runes[i:j]))
+			i = j
+		case unicode.IsDigit(r):
+			// Hex constants such as SDSS object ids (0x112d075f80360018).
+			if r == '0' && i+1 < n && (runes[i+1] == 'x' || runes[i+1] == 'X') {
+				j := i + 2
+				for j < n && isHexDigit(runes[j]) {
+					j++
+				}
+				tokens = append(tokens, DigitToken)
+				i = j
+				continue
+			}
+			j := i
+			for j < n && (unicode.IsDigit(runes[j]) || runes[j] == '.' ||
+				((runes[j] == 'e' || runes[j] == 'E') && j+1 < n && (unicode.IsDigit(runes[j+1]) || runes[j+1] == '+' || runes[j+1] == '-')) ||
+				((runes[j] == '+' || runes[j] == '-') && j > i && (runes[j-1] == 'e' || runes[j-1] == 'E'))) {
+				j++
+			}
+			tokens = append(tokens, DigitToken)
+			i = j
+		case r == '\'':
+			j := i + 1
+			for j < n {
+				if runes[j] == '\'' {
+					if j+1 < n && runes[j+1] == '\'' { // escaped quote
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			tokens = append(tokens, normalizeLiteral(string(runes[i:j])))
+			i = j
+		case r == '"' || r == '[':
+			close := '"'
+			if r == '[' {
+				close = ']'
+			}
+			j := i + 1
+			for j < n && runes[j] != close {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			tokens = append(tokens, string(runes[i:j]))
+			i = j
+		default:
+			// Multi-character operators first.
+			if i+1 < n {
+				two := string(runes[i : i+2])
+				switch two {
+				case "<=", ">=", "<>", "!=", "||", "--", "/*", "*/":
+					tokens = append(tokens, two)
+					i += 2
+					continue
+				}
+			}
+			tokens = append(tokens, string(r))
+			i++
+		}
+	}
+	return tokens
+}
+
+// normalizeLiteral replaces digits inside a quoted string literal with
+// DigitToken content markers so that constant-only variations of the
+// same template map to the same token sequence.
+func normalizeLiteral(lit string) string {
+	var b strings.Builder
+	b.Grow(len(lit))
+	inDigits := false
+	for _, r := range lit {
+		if unicode.IsDigit(r) {
+			if !inDigits {
+				b.WriteString("#")
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '@' || r == '#'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '@' || r == '#'
+}
+
+func isHexDigit(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+// NGrams returns all n-grams (as joined strings) of the token sequence
+// for every order in [1, maxN]. Per Section 5.1 the traditional models
+// use bag-of-n-grams up to 5-grams.
+func NGrams(tokens []string, maxN int) []string {
+	if maxN < 1 {
+		return nil
+	}
+	var grams []string
+	for n := 1; n <= maxN; n++ {
+		if len(tokens) < n {
+			break
+		}
+		for i := 0; i+n <= len(tokens); i++ {
+			grams = append(grams, strings.Join(tokens[i:i+n], "\x1f"))
+		}
+	}
+	return grams
+}
+
+// Vocabulary maps tokens to dense integer ids. Index 0 is reserved for
+// the unknown token.
+type Vocabulary struct {
+	index map[string]int
+	words []string
+}
+
+// NewVocabulary creates a vocabulary whose id 0 is UnknownToken.
+func NewVocabulary() *Vocabulary {
+	v := &Vocabulary{index: make(map[string]int)}
+	v.Add(UnknownToken)
+	return v
+}
+
+// Add inserts a token, returning its id. Adding an existing token is a
+// no-op that returns the existing id.
+func (v *Vocabulary) Add(tok string) int {
+	if id, ok := v.index[tok]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.index[tok] = id
+	v.words = append(v.words, tok)
+	return id
+}
+
+// ID returns the id for tok, or 0 (unknown) if absent.
+func (v *Vocabulary) ID(tok string) int {
+	if id, ok := v.index[tok]; ok {
+		return id
+	}
+	return 0
+}
+
+// Contains reports whether tok is in the vocabulary.
+func (v *Vocabulary) Contains(tok string) bool {
+	_, ok := v.index[tok]
+	return ok
+}
+
+// Token returns the token string for an id.
+func (v *Vocabulary) Token(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return UnknownToken
+	}
+	return v.words[id]
+}
+
+// Size returns the number of tokens including UnknownToken.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Encode maps tokens to ids, truncating to maxLen when maxLen > 0.
+func (v *Vocabulary) Encode(tokens []string, maxLen int) []int {
+	n := len(tokens)
+	if maxLen > 0 && n > maxLen {
+		n = maxLen
+	}
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = v.ID(tokens[i])
+	}
+	return ids
+}
+
+// BuildVocabulary constructs a vocabulary from token sequences keeping
+// the maxSize most frequent tokens (0 means unbounded). Ties are broken
+// by first appearance for determinism.
+func BuildVocabulary(sequences [][]string, maxSize int) *Vocabulary {
+	type tokCount struct {
+		tok   string
+		count int
+		first int
+	}
+	counts := make(map[string]*tokCount)
+	order := 0
+	for _, seq := range sequences {
+		for _, tok := range seq {
+			tc, ok := counts[tok]
+			if !ok {
+				tc = &tokCount{tok: tok, first: order}
+				counts[tok] = tc
+				order++
+			}
+			tc.count++
+		}
+	}
+	all := make([]*tokCount, 0, len(counts))
+	for _, tc := range counts {
+		all = append(all, tc)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].first < all[j].first
+	})
+	v := NewVocabulary()
+	for _, tc := range all {
+		if maxSize > 0 && v.Size() >= maxSize {
+			break
+		}
+		v.Add(tc.tok)
+	}
+	return v
+}

@@ -1,0 +1,239 @@
+package sqlparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperFigure5 is the sample query from Figure 5 of the paper (with the
+// figure's unbalanced parentheses corrected). Example 3 gives its
+// expected syntactic properties.
+const paperFigure5 = `SELECT dbo.fGetURLExpid(objid)
+FROM SpecPhoto
+WHERE modelmag_u - modelmag_g =
+  (SELECT min(modelmag_u - modelmag_g)
+   FROM SpecPhoto AS s INNER JOIN PhotoObj AS p
+     ON s.objid = p.objid
+   WHERE (s.flags_g = 0 OR p.psfmagerr_g <= 0.2 AND p.psfmagerr_u <= 0.2))`
+
+func TestFeaturesPaperExample3(t *testing.T) {
+	f := ExtractFeatures(paperFigure5)
+	if !f.Parsed {
+		t.Fatal("Figure 5 query should parse")
+	}
+	if f.NumFunctions != 2 {
+		t.Errorf("NumFunctions = %d, want 2", f.NumFunctions)
+	}
+	if f.NumTables != 2 {
+		t.Errorf("NumTables = %d, want 2", f.NumTables)
+	}
+	if f.NumSelectColumns != 3 {
+		t.Errorf("NumSelectColumns = %d, want 3", f.NumSelectColumns)
+	}
+	if f.NumPredicates != 5 {
+		t.Errorf("NumPredicates = %d, want 5", f.NumPredicates)
+	}
+	if f.NumPredicateColumns != 7 {
+		t.Errorf("NumPredicateColumns = %d, want 7", f.NumPredicateColumns)
+	}
+	if f.NestednessLevel != 1 {
+		t.Errorf("NestednessLevel = %d, want 1", f.NestednessLevel)
+	}
+	if !f.NestedAggregation {
+		t.Error("NestedAggregation = false, want true")
+	}
+	if f.NumJoins != 1 {
+		t.Errorf("NumJoins = %d, want 1", f.NumJoins)
+	}
+}
+
+func TestFeaturesSimpleQuery(t *testing.T) {
+	f := ExtractFeatures("SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018")
+	if !f.Parsed {
+		t.Fatal("should parse")
+	}
+	if f.NumChars != 48 {
+		t.Errorf("NumChars = %d, want 48", f.NumChars)
+	}
+	if f.NumWords != 8 {
+		t.Errorf("NumWords = %d, want 8", f.NumWords)
+	}
+	if f.NumTables != 1 || f.NumJoins != 0 || f.NumPredicates != 1 {
+		t.Errorf("tables=%d joins=%d preds=%d", f.NumTables, f.NumJoins, f.NumPredicates)
+	}
+	if f.NumSelectColumns != 0 {
+		t.Errorf("NumSelectColumns = %d, want 0 for SELECT *", f.NumSelectColumns)
+	}
+	if f.NestednessLevel != 0 || f.NestedAggregation {
+		t.Error("flat query should have no nesting")
+	}
+	if f.StatementType != "SELECT" {
+		t.Errorf("StatementType = %q", f.StatementType)
+	}
+}
+
+func TestFeaturesCountStarNotSelectColumn(t *testing.T) {
+	f := ExtractFeatures("SELECT COUNT(*) FROM Galaxy")
+	if f.NumSelectColumns != 0 {
+		t.Errorf("NumSelectColumns = %d, want 0", f.NumSelectColumns)
+	}
+	if f.NumFunctions != 1 {
+		t.Errorf("NumFunctions = %d, want 1", f.NumFunctions)
+	}
+}
+
+func TestFeaturesTopLevelAggregationIsNotNested(t *testing.T) {
+	f := ExtractFeatures("SELECT min(u) FROM SpecPhoto")
+	if f.NestedAggregation {
+		t.Error("top-level aggregate must not count as nested aggregation")
+	}
+}
+
+func TestFeaturesNestedNoAggregation(t *testing.T) {
+	f := ExtractFeatures("SELECT a FROM (SELECT a FROM t) x")
+	if f.NestednessLevel != 1 {
+		t.Errorf("NestednessLevel = %d, want 1", f.NestednessLevel)
+	}
+	if f.NestedAggregation {
+		t.Error("no aggregate in subquery")
+	}
+}
+
+func TestFeaturesDeepNesting(t *testing.T) {
+	// Three nested subqueries like the paper's Q2 (Figure 16).
+	q := `SELECT j.target FROM Jobs j,
+	 (SELECT DISTINCT target, queue FROM Servers s1
+	   WHERE s1.name NOT IN
+	    (SELECT name FROM Servers s,
+	      (SELECT target, min(queue) AS queue FROM Servers GROUP BY target) AS a
+	     WHERE a.target = s.target)) b
+	 WHERE j.outputtype LIKE '%QUERY%'`
+	f := ExtractFeatures(q)
+	if !f.Parsed {
+		t.Fatal("Q2-like query should parse")
+	}
+	if f.NestednessLevel != 3 {
+		t.Errorf("NestednessLevel = %d, want 3", f.NestednessLevel)
+	}
+	if !f.NestedAggregation {
+		t.Error("min() at depth 3 should flag nested aggregation")
+	}
+}
+
+func TestFeaturesMultipleJoins(t *testing.T) {
+	q := "SELECT 1 FROM a JOIN b ON a.x=b.x JOIN c ON b.y=c.y LEFT JOIN d ON c.z=d.z"
+	f := ExtractFeatures(q)
+	if f.NumJoins != 3 {
+		t.Errorf("NumJoins = %d, want 3", f.NumJoins)
+	}
+	if f.NumTables != 4 {
+		t.Errorf("NumTables = %d, want 4", f.NumTables)
+	}
+}
+
+func TestFeaturesDuplicateTablesCountOnce(t *testing.T) {
+	q := "SELECT 1 FROM SpecPhoto AS s, SpecPhoto AS t WHERE s.objid = t.objid"
+	f := ExtractFeatures(q)
+	if f.NumTables != 1 {
+		t.Errorf("NumTables = %d, want 1 (unique names)", f.NumTables)
+	}
+}
+
+func TestFeaturesUnparseableFallsBack(t *testing.T) {
+	f := ExtractFeatures("find galaxies JOIN near (m31) where brightness > 5")
+	if f.Parsed {
+		t.Fatal("junk should not parse")
+	}
+	if f.NumChars == 0 || f.NumWords == 0 {
+		t.Error("char/word counts must still be exact")
+	}
+	if f.NumJoins != 1 {
+		t.Errorf("heuristic NumJoins = %d, want 1", f.NumJoins)
+	}
+	if f.NumPredicates != 1 {
+		t.Errorf("heuristic NumPredicates = %d, want 1", f.NumPredicates)
+	}
+}
+
+func TestFeaturesEmptyInput(t *testing.T) {
+	f := ExtractFeatures("")
+	if f.Parsed {
+		t.Fatal("empty input should not parse")
+	}
+	if f.NumChars != 0 || f.NumWords != 0 {
+		t.Error("empty input should have zero counts")
+	}
+}
+
+func TestFeatureVectorOrder(t *testing.T) {
+	f := Features{
+		NumChars: 1, NumWords: 2, NumFunctions: 3, NumJoins: 4,
+		NumTables: 5, NumSelectColumns: 6, NumPredicates: 7,
+		NumPredicateColumns: 8, NestednessLevel: 9, NestedAggregation: true,
+	}
+	v := f.Vector()
+	if len(v) != len(FeatureNames) {
+		t.Fatalf("len = %d, want %d", len(v), len(FeatureNames))
+	}
+	for i := 0; i < 9; i++ {
+		if v[i] != float64(i+1) {
+			t.Errorf("v[%d] = %v, want %d", i, v[i], i+1)
+		}
+	}
+	if v[9] != 1 {
+		t.Errorf("v[9] = %v, want 1", v[9])
+	}
+}
+
+func TestFeaturesPredicateColumnsBothSides(t *testing.T) {
+	f := ExtractFeatures("SELECT 1 FROM t WHERE a = b AND c > 5")
+	if f.NumPredicates != 2 {
+		t.Errorf("NumPredicates = %d, want 2", f.NumPredicates)
+	}
+	if f.NumPredicateColumns != 3 {
+		t.Errorf("NumPredicateColumns = %d, want 3 (a, b, c)", f.NumPredicateColumns)
+	}
+}
+
+func TestFeaturesExecCountsFunction(t *testing.T) {
+	f := ExtractFeatures("EXEC dbo.spGetNeighbors 185.0, 62.8, 0.5")
+	if !f.Parsed {
+		t.Fatal("EXEC should parse")
+	}
+	if f.NumFunctions != 1 {
+		t.Errorf("NumFunctions = %d, want 1", f.NumFunctions)
+	}
+	if f.StatementType != "EXECUTE" {
+		t.Errorf("StatementType = %q, want EXECUTE", f.StatementType)
+	}
+}
+
+// Property: ExtractFeatures is total and all counts are non-negative.
+func TestFeaturesTotalProperty(t *testing.T) {
+	f := func(s string) bool {
+		ft := ExtractFeatures(s)
+		return ft.NumChars >= 0 && ft.NumWords >= 0 && ft.NumFunctions >= 0 &&
+			ft.NumJoins >= 0 && ft.NumTables >= 0 && ft.NumSelectColumns >= 0 &&
+			ft.NumPredicates >= 0 && ft.NumPredicateColumns >= 0 &&
+			ft.NestednessLevel >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NumPredicateColumns is never positive when NumPredicates is
+// zero for parsed SELECT statements.
+func TestFeaturesPredicateInvariant(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT a, b FROM t ORDER BY a",
+		"SELECT count(*) FROM t GROUP BY a",
+	}
+	for _, q := range queries {
+		f := ExtractFeatures(q)
+		if f.NumPredicates == 0 && f.NumPredicateColumns != 0 {
+			t.Errorf("%q: predicate columns without predicates", q)
+		}
+	}
+}

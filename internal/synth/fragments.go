@@ -1,0 +1,93 @@
+// Package synth generates synthetic SDSS-like and SQLShare-like query
+// workloads. It is the substitute for the paper's two private data
+// sources: the SDSS SqlLog dump (194M entries) and the SQLShare
+// multi-year service log. Generators emit raw query-log entries whose
+// ground-truth labels come from the simdb execution simulator, with
+// per-session-class query styles that reproduce the structural and
+// label distributions the paper reports in Section 4.3 (Figures 3, 6,
+// 8, 20).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// queryBuilder assembles SQL text with controlled randomness.
+type queryBuilder struct {
+	rng *rand.Rand
+}
+
+func (b *queryBuilder) pick(options ...string) string {
+	return options[b.rng.Intn(len(options))]
+}
+
+func (b *queryBuilder) pickN(options []string, n int) []string {
+	idx := b.rng.Perm(len(options))
+	if n > len(options) {
+		n = len(options)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = options[idx[i]]
+	}
+	return out
+}
+
+// objid draws an SDSS-style 64-bit object identifier, sometimes in the
+// hex form seen throughout the real workload.
+func (b *queryBuilder) objid() string {
+	v := uint64(b.rng.Int63())<<1 | uint64(b.rng.Intn(2))
+	if b.rng.Intn(3) == 0 {
+		return fmt.Sprintf("0x%016x", v)
+	}
+	return fmt.Sprintf("%d", v%9_000_000_000_000_000_000)
+}
+
+func (b *queryBuilder) ra() float64  { return b.rng.Float64() * 360 }
+func (b *queryBuilder) dec() float64 { return b.rng.Float64()*180 - 90 }
+
+// photoCols are the PhotoObj columns query writers actually select.
+var photoCols = []string{
+	"objid", "ra", "dec", "u", "g", "r", "i", "z", "type", "flags",
+	"status", "mode", "petror90_r", "psfmag_r", "extinction_r",
+	"run", "rerun", "camcol", "field",
+}
+
+var specCols = []string{
+	"specobjid", "bestobjid", "ra", "dec", "z", "zerr", "zconf",
+	"specclass", "plate", "mjd", "fiberid",
+}
+
+// misspell corrupts an identifier the way hurried users do: swap two
+// characters, drop one, or double one.
+func misspell(rng *rand.Rand, s string) string {
+	if len(s) < 3 {
+		return s + "x"
+	}
+	r := []rune(s)
+	switch rng.Intn(3) {
+	case 0: // swap
+		i := 1 + rng.Intn(len(r)-2)
+		r[i], r[i-1] = r[i-1], r[i]
+	case 1: // drop
+		i := rng.Intn(len(r))
+		r = append(r[:i], r[i+1:]...)
+	default: // double
+		i := rng.Intn(len(r))
+		r = append(r[:i+1], r[i:]...)
+	}
+	return string(r)
+}
+
+// maybeLower lower-cases keywords for writer-style diversity: bots and
+// programs emit canonical upper-case SQL, humans mix.
+func maybeLower(rng *rand.Rand, q string, humanStyle bool) string {
+	if !humanStyle || rng.Intn(3) != 0 {
+		return q
+	}
+	return strings.ToLower(q)
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.6f", v) }

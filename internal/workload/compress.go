@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sqllex"
+)
+
+// Template normalizes a statement to its template: word tokens with
+// numeric and string constants collapsed (bots submit "the same query
+// template but with different constants", Section 4.1). Two statements
+// with the same template differ only in constants.
+func Template(stmt string) string {
+	return strings.Join(sqllex.Words(stmt), " ")
+}
+
+// Compress reduces a workload to at most maxItems items while
+// preserving template diversity — the workload-compression extension
+// the paper points to (Section 8, citing Chaudhuri et al.). Items are
+// grouped by template; representatives are taken round-robin across
+// templates (largest templates first), so every template keeps at
+// least one exemplar before any template keeps two.
+func Compress(items []Item, maxItems int) []Item {
+	if maxItems <= 0 || len(items) <= maxItems {
+		return append([]Item(nil), items...)
+	}
+	type group struct {
+		first int
+		items []Item
+	}
+	byTemplate := map[string]*group{}
+	var order []string
+	for i, item := range items {
+		key := Template(item.Statement)
+		g, ok := byTemplate[key]
+		if !ok {
+			g = &group{first: i}
+			byTemplate[key] = g
+			order = append(order, key)
+		}
+		g.items = append(g.items, item)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		gi, gj := byTemplate[order[i]], byTemplate[order[j]]
+		if len(gi.items) != len(gj.items) {
+			return len(gi.items) > len(gj.items)
+		}
+		return gi.first < gj.first
+	})
+	out := make([]Item, 0, maxItems)
+	for round := 0; len(out) < maxItems; round++ {
+		took := false
+		for _, key := range order {
+			g := byTemplate[key]
+			if round < len(g.items) {
+				out = append(out, g.items[round])
+				took = true
+				if len(out) == maxItems {
+					return out
+				}
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// CompressionStats summarizes a workload's template redundancy.
+type CompressionStats struct {
+	Items     int
+	Templates int
+	// LargestTemplate is the population of the most repeated template.
+	LargestTemplate int
+}
+
+// TemplateStats computes template redundancy statistics.
+func TemplateStats(items []Item) CompressionStats {
+	counts := map[string]int{}
+	largest := 0
+	for _, item := range items {
+		key := Template(item.Statement)
+		counts[key]++
+		if counts[key] > largest {
+			largest = counts[key]
+		}
+	}
+	return CompressionStats{Items: len(items), Templates: len(counts), LargestTemplate: largest}
+}
+
+// TimedHit is one logged interaction (SQL query or web request) with
+// its origin and timestamp, the unit of the session-identification
+// problem (Section 2).
+type TimedHit struct {
+	IP        string
+	Time      time.Time
+	Statement string
+}
+
+// Sessionize groups hits into sessions following the paper's
+// definition (Sections 2 and 4.1): a session is an ordered sequence of
+// hits from a single IP address such that gaps between consecutive
+// hits are no longer than gap (30 minutes in SDSS). Hits are sorted by
+// time within each IP; sessions are returned in order of their first
+// hit.
+func Sessionize(hits []TimedHit, gap time.Duration) [][]TimedHit {
+	byIP := map[string][]TimedHit{}
+	for _, h := range hits {
+		byIP[h.IP] = append(byIP[h.IP], h)
+	}
+	var sessions [][]TimedHit
+	ips := make([]string, 0, len(byIP))
+	for ip := range byIP {
+		ips = append(ips, ip)
+	}
+	sort.Strings(ips)
+	for _, ip := range ips {
+		hs := byIP[ip]
+		sort.Slice(hs, func(i, j int) bool { return hs[i].Time.Before(hs[j].Time) })
+		var cur []TimedHit
+		for _, h := range hs {
+			if len(cur) > 0 && h.Time.Sub(cur[len(cur)-1].Time) > gap {
+				sessions = append(sessions, cur)
+				cur = nil
+			}
+			cur = append(cur, h)
+		}
+		if len(cur) > 0 {
+			sessions = append(sessions, cur)
+		}
+	}
+	sort.SliceStable(sessions, func(i, j int) bool {
+		return sessions[i][0].Time.Before(sessions[j][0].Time)
+	})
+	return sessions
+}

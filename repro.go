@@ -1,0 +1,132 @@
+// Package repro is a Go reproduction of "Facilitating SQL Query
+// Composition and Analysis" (Zolaktaf, Milani, Pottinger; SIGMOD 2020).
+//
+// The library predicts properties of a SQL query prior to execution —
+// its error class, answer size, CPU time, and the class of client that
+// wrote it — from the raw statement text alone, using models trained on
+// a large query workload. No access to the database instance,
+// statistics, or execution plans is required (the paper's central
+// constraint).
+//
+// This facade re-exports the primary API; the full surface lives in the
+// internal packages:
+//
+//	internal/sqllex      character/word tokenizers
+//	internal/sqlparse    SQL parser and the 10 syntactic properties
+//	internal/simdb       execution simulator (catalogs, labels, optimizer)
+//	internal/synth       SDSS-like and SQLShare-like workload generators
+//	internal/workload    extraction pipeline, splits, workload analysis
+//	internal/nn          LSTM/CNN engine with Adam/AdaMax
+//	internal/textfeat    n-gram TF-IDF + logistic/Huber regression
+//	internal/core        model registry and training pipeline
+//	internal/experiments every table and figure of the evaluation
+//
+// Quickstart:
+//
+//	w := repro.GenerateSDSS(5000, 1)
+//	split := repro.SplitRandom(w.Items, 1)
+//	model, _ := repro.Train("ccnn", repro.AnswerSizePrediction, split.Train, repro.DefaultConfig())
+//	rows := model.PredictRaw("SELECT * FROM PhotoObj WHERE r < 22")
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// Task identifies one of the paper's four query facilitation problems.
+type Task = core.Task
+
+// The four tasks of Definition 4.
+const (
+	ErrorClassification   = core.ErrorClassification
+	CPUTimePrediction     = core.CPUTimePrediction
+	AnswerSizePrediction  = core.AnswerSizePrediction
+	SessionClassification = core.SessionClassification
+	ElapsedTimePrediction = core.ElapsedTimePrediction
+)
+
+// Model is a trained query-property predictor.
+type Model = core.Model
+
+// Config holds model and training hyper-parameters.
+type Config = core.Config
+
+// Workload is an extracted query workload.
+type Workload = workload.Workload
+
+// Item is one unique statement with its aggregated labels.
+type Item = workload.Item
+
+// Split is a train/validation/test partition.
+type Split = workload.Split
+
+// Features are the ten syntactic properties of Section 4.3.1.
+type Features = sqlparse.Features
+
+// ModelNames lists every model in the paper's comparison.
+var ModelNames = core.ModelNames
+
+// DefaultConfig returns the scaled-down defaults of the experiment
+// harness (paper hyper-parameters: lr 1e-3, batch 16, AdaMax, Huber).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Train fits the named model for a task on training items.
+func Train(name string, task Task, train []Item, cfg Config) (*Model, error) {
+	return core.Train(name, task, train, cfg)
+}
+
+// Analyze extracts the ten syntactic properties of a statement.
+func Analyze(stmt string) Features { return sqlparse.ExtractFeatures(stmt) }
+
+// GenerateSDSS produces an SDSS-like workload with the given number of
+// user sessions.
+func GenerateSDSS(sessions int, seed int64) *Workload {
+	return synth.NewSDSS(synth.SDSSConfig{Sessions: sessions, HitsPerSessionMax: 3, Seed: seed}).Generate()
+}
+
+// GenerateSQLShare produces a SQLShare-like workload with per-user
+// schemas.
+func GenerateSQLShare(users, queriesPerUser int, seed int64) *Workload {
+	return synth.NewSQLShare(synth.SQLShareConfig{Users: users, QueriesPerUser: queriesPerUser, Seed: seed}).Generate()
+}
+
+// SplitRandom partitions items 80/10/10 at random (Homogeneous
+// settings).
+func SplitRandom(items []Item, seed int64) Split {
+	return workload.RandomSplit(items, 0.1, 0.1, rand.New(rand.NewSource(seed)))
+}
+
+// SplitByUser partitions items by user so train and test schemas are
+// disjoint (the Heterogeneous Schema setting).
+func SplitByUser(items []Item, seed int64) Split {
+	return workload.UserSplit(items, 0.1, 0.1, rand.New(rand.NewSource(seed)))
+}
+
+// FineTune continues training a neural model on a new workload (the
+// transfer-learning extension of Section 8).
+func FineTune(m *Model, train []Item, cfg Config) (*Model, error) {
+	return core.FineTune(m, train, cfg)
+}
+
+// MultiTaskModel jointly predicts error class, answer size, and CPU
+// time from one shared encoder (the multi-task extension of Section 8).
+type MultiTaskModel = core.MultiTaskModel
+
+// TrainMultiTask fits the shared-encoder multi-task model.
+func TrainMultiTask(train []Item, cfg Config) (*MultiTaskModel, error) {
+	return core.TrainMultiTask(train, cfg)
+}
+
+// Compress reduces a workload to maxItems items preserving template
+// diversity (the workload-compression extension of Section 8).
+func Compress(items []Item, maxItems int) []Item {
+	return workload.Compress(items, maxItems)
+}
+
+// Template normalizes a statement to its constant-free template.
+func Template(stmt string) string { return workload.Template(stmt) }

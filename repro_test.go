@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeAnalyze(t *testing.T) {
+	f := Analyze("SELECT * FROM PhotoObj WHERE r < 22")
+	if !f.Parsed || f.NumTables != 1 {
+		t.Fatalf("features = %+v", f)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w := GenerateSDSS(600, 5)
+	if len(w.Items) == 0 {
+		t.Fatal("empty workload")
+	}
+	split := SplitRandom(w.Items, 5)
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.Embed, cfg.Hidden, cfg.Kernels = 8, 12, 8
+	cfg.CharMaxLen = 60
+	m, err := Train("ccnn", AnswerSizePrediction, split.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := m.PredictRaw("SELECT * FROM PhotoObj WHERE r < 22"); rows < -1 {
+		t.Fatalf("prediction = %v", rows)
+	}
+}
+
+func TestFacadeSQLShare(t *testing.T) {
+	w := GenerateSQLShare(6, 15, 5)
+	if len(w.Items) == 0 {
+		t.Fatal("empty workload")
+	}
+	split := SplitByUser(w.Items, 5)
+	if len(split.Train) == 0 || len(split.Test) == 0 {
+		t.Fatal("split empty")
+	}
+}
+
+func TestModelNamesComplete(t *testing.T) {
+	want := map[string]bool{
+		"mfreq": true, "median": true, "opt": true,
+		"ctfidf": true, "wtfidf": true,
+		"clstm": true, "wlstm": true, "ccnn": true, "wcnn": true,
+	}
+	if len(ModelNames) != len(want) {
+		t.Fatalf("ModelNames = %v", ModelNames)
+	}
+	for _, n := range ModelNames {
+		if !want[n] {
+			t.Fatalf("unexpected model %q", n)
+		}
+	}
+}
