@@ -9,6 +9,7 @@ package repro
 // numbers recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -518,4 +519,46 @@ func minOf(v []float64) float64 {
 		}
 	}
 	return m
+}
+
+// benchTrainItems builds a fixed small workload and config for the
+// training-throughput benchmarks.
+func benchTrainItems() ([]Item, core.Config) {
+	env := experiments.NewEnv(experiments.Scale{
+		SDSSSessions: 300, SQLShareUsers: 4, SQLShareQueriesPerUser: 8,
+		Cfg: core.TinyConfig(), Seed: 1,
+	})
+	cfg := core.TinyConfig()
+	cfg.Epochs = 1
+	items := env.SDSSSplit.Train
+	if len(items) > 256 {
+		items = items[:256]
+	}
+	return items, cfg
+}
+
+// BenchmarkTrainStep measures end-to-end mini-batch training throughput
+// (forward+backward+optimizer) for the neural models, reported as
+// training steps (examples) per second. The workers=N variants exercise
+// the data-parallel engine (core.Trainer); speedups over workers=1
+// require GOMAXPROCS >= N.
+func BenchmarkTrainStep(b *testing.B) {
+	items, base := benchTrainItems()
+	for _, name := range []string{"ccnn", "clstm"} {
+		for _, w := range []int{1, 2, 4} {
+			cfg := base
+			cfg.Workers = w
+			b.Run(fmt.Sprintf("%s/workers=%d", name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Train(name, core.ErrorClassification, items, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				steps := float64(len(items) * cfg.Epochs)
+				b.ReportMetric(steps*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
 }

@@ -47,6 +47,7 @@ func main() {
 		out     = flag.String("out", "", "also write the report to this file")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		epochs  = flag.Int("epochs", 0, "override training epochs")
+		workers = flag.Int("workers", 0, "training goroutines per mini-batch (0: config default, -1: min(GOMAXPROCS, batch))")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 	if *epochs > 0 {
 		sc.Cfg.Epochs = *epochs
 	}
+	sc.TrainWorkers = *workers
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating workloads (scale=%s, seed=%d)...\n", *scale, *seed)

@@ -41,9 +41,9 @@ func main() {
 	// The advisor in action on a user's editing session.
 	drafts := []string{
 		"SELECT ra, dec FROM PhotoObj WHERE objid = 1237648720693755918",
-		"SELECT ra, dec FROM PhotoObj WHERE (r < 21 AND g < 22",   // unbalanced
-		"SELECT raa, dec FROM PhotoObj WHERE r < 21",              // typo column
-		"find all galaxies near m31",                              // not SQL
+		"SELECT ra, dec FROM PhotoObj WHERE (r < 21 AND g < 22", // unbalanced
+		"SELECT raa, dec FROM PhotoObj WHERE r < 21",            // typo column
+		"find all galaxies near m31",                            // not SQL
 		"SELECT TOP 10 objid FROM Galaxy ORDER BY r",
 	}
 	fmt.Println("\npre-submission check:")

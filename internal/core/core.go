@@ -113,14 +113,21 @@ type Config struct {
 	Widths     []int
 	Dropout    float64
 	// Training.
-	Epochs    int
-	LR        float64
+	Epochs int
+	LR     float64
 	// LSTMLR overrides LR for the LSTM models when positive: at our
 	// scaled-down data sizes the CNN tolerates (and needs) a larger
 	// step size than the recurrent models.
 	LSTMLR    float64
 	BatchSize int
 	Clip      float64
+	// Workers is the number of goroutines the training engine fans each
+	// mini-batch across (see Trainer). 1 (the default) reproduces the
+	// legacy sequential loop bit-for-bit; <= 0 selects
+	// min(GOMAXPROCS, BatchSize). Values > 1 keep training deterministic
+	// for a fixed worker count but reorder floating-point gradient
+	// accumulation relative to the sequential path.
+	Workers int
 	// Traditional models.
 	NGramMax    int
 	MaxFeatures int
@@ -140,7 +147,7 @@ func DefaultConfig() Config {
 		CharMaxLen: 160, WordMaxLen: 40, WordVocabMax: 20000,
 		Embed: 16, Hidden: 32, LSTMLayers: 3,
 		Kernels: 32, Widths: []int{3, 4, 5}, Dropout: 0.5,
-		Epochs: 4, LR: 2e-2, LSTMLR: 3e-3, BatchSize: 16, Clip: 0.25,
+		Epochs: 4, LR: 2e-2, LSTMLR: 3e-3, BatchSize: 16, Clip: 0.25, Workers: 1,
 		NGramMax: 4, MaxFeatures: 50000, TfidfEpochs: 4,
 		Seed: 42,
 	}
@@ -158,6 +165,11 @@ func TinyConfig() Config {
 }
 
 // Model is a trained query-property predictor.
+//
+// Prediction methods on neural models reuse internal scratch buffers
+// (the allocation-free hot-path contract of internal/nn), so a Model
+// instance is not safe for concurrent use; give each goroutine its own
+// trained Model, or serialize calls.
 type Model struct {
 	Name string
 	Task Task
@@ -184,7 +196,8 @@ type nnBackend struct {
 	vocab *sqllex.Vocabulary
 }
 
-// Probs returns the class distribution for a statement.
+// Probs returns the class distribution for a statement. Not safe for
+// concurrent use (see Model).
 func (m *Model) Probs(stmt string) []float64 {
 	if m.probs == nil {
 		return nil
@@ -204,7 +217,8 @@ func (m *Model) PredictClass(stmt string) int {
 	return best
 }
 
-// PredictLog returns the log-space regression prediction.
+// PredictLog returns the log-space regression prediction. Not safe for
+// concurrent use (see Model).
 func (m *Model) PredictLog(stmt string) float64 {
 	if m.value == nil {
 		return 0

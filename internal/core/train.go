@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -66,17 +68,22 @@ func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Mo
 		maxLen: maxLen, rngSeed: cfg.Seed,
 	}
 
+	// Evaluation-path encoding reuses one buffer per model; prediction
+	// closures are therefore not safe for concurrent use (matching the
+	// scratch-reuse contract of nn.Model).
+	var encBuf []int
 	encode := func(stmt string) []int {
-		return vocab.Encode(Tokenize(name, stmt), maxLen)
+		encBuf = vocab.EncodeInto(Tokenize(name, stmt), maxLen, encBuf)
+		return encBuf
 	}
 
+	trainer := NewTrainer(cfg)
 	if task.IsClassification() {
 		labels, _ := task.Labels(train)
-		trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
-			out, cache := model.Forward(encoded[i], true, rng)
+		trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+			out, cache := mm.Forward(encoded[i], true, wrng)
 			_, _, dlogits := nn.SoftmaxCE(out, labels[i])
-			model.Backward(encoded[i], cache, dlogits)
-			return nil
+			mm.Backward(encoded[i], cache, dlogits)
 		})
 		m.probs = func(stmt string) []float64 {
 			out, _ := model.Forward(encode(stmt), false, nil)
@@ -89,11 +96,12 @@ func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Mo
 	logs, min := metrics.LogTransform(raw)
 	m.LogMin = min
 	warmStartBias(model, meanOf(logs))
-	trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
-		out, cache := model.Forward(encoded[i], true, rng)
+	trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+		out, cache := mm.Forward(encoded[i], true, wrng)
 		_, dpred := nn.HuberLoss(out[0], logs[i], 1)
-		model.Backward(encoded[i], cache, []float64{dpred})
-		return nil
+		var dout [1]float64
+		dout[0] = dpred
+		mm.Backward(encoded[i], cache, dout[:])
 	})
 	m.value = func(stmt string) float64 {
 		out, _ := model.Forward(encode(stmt), false, nil)
@@ -102,38 +110,177 @@ func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Mo
 	return m, nil
 }
 
-// trainLoop runs epochs of shuffled mini-batch training. step(i) must
-// run forward+backward for sample i, accumulating gradients.
-func trainLoop(model nn.Model, opt *nn.Optimizer, params []*nn.Param,
-	encoded [][]int, cfg Config, rng *rand.Rand, step func(i int) []float64) {
-	order := make([]int, len(encoded))
-	for i := range order {
-		order[i] = i
-	}
+// Trainer is the data-parallel mini-batch training engine. Each
+// mini-batch is fanned out across Workers goroutines; every worker
+// runs forward+backward on its own shared-weight model replica,
+// accumulating gradients into a private shard, and the shards are
+// reduced into the master parameters in worker order before the
+// optimizer step.
+//
+// Determinism contract:
+//   - Workers == 1 runs the legacy sequential loop and is bit-identical
+//     to the pre-engine behavior (shuffle and dropout draw from the
+//     single training RNG in the original order).
+//   - Workers > 1 derives each example's dropout RNG from (Seed, epoch,
+//     batch slot), so dropout masks do not depend on the worker count
+//     or goroutine scheduling. For a fixed worker count results are
+//     fully deterministic; across different worker counts (including
+//     vs. Workers == 1 with dropout disabled) final weights agree up to
+//     floating-point summation order (~1e-12 per step).
+type Trainer struct {
+	// Workers is the number of training goroutines per batch.
+	// <= 0 selects min(GOMAXPROCS, batch size); 1 is sequential.
+	Workers int
+	// Seed drives the per-example dropout RNGs of the parallel path.
+	Seed int64
+	// Batch is the mini-batch size (examples per optimizer step).
+	Batch int
+	// Epochs is the number of passes over the data.
+	Epochs int
+}
+
+// NewTrainer builds a Trainer from training hyper-parameters.
+func NewTrainer(cfg Config) Trainer {
 	batch := cfg.BatchSize
 	if batch <= 0 {
 		batch = 16
 	}
-	for e := 0; e < cfg.Epochs; e++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for start := 0; start < len(order); start += batch {
-			end := start + batch
-			if end > len(order) {
-				end = len(order)
-			}
-			for _, i := range order[start:end] {
-				step(i)
-			}
-			// Average the batch gradient (gradients were summed).
-			scale := 1.0 / float64(end-start)
-			for _, p := range params {
-				for k := range p.G {
-					p.G[k] *= scale
+	return Trainer{Workers: cfg.Workers, Seed: cfg.Seed, Batch: batch, Epochs: cfg.Epochs}
+}
+
+// resolveWorkers caps the worker count at the batch size and defaults
+// it to GOMAXPROCS.
+func (t Trainer) resolveWorkers() int {
+	w := t.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > t.Batch {
+		w = t.Batch
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// trainWorker is one training worker: a step function bound to a model
+// replica, plus the gradient shard reduced after each batch (nil for
+// worker 0, which accumulates directly into the master parameters).
+type trainWorker struct {
+	step  func(rng *rand.Rand, i int)
+	grads *nn.GradBuffer
+}
+
+// run executes the epoch/batch/optimizer skeleton. newWorker(w) builds
+// worker w's replica-bound step function; it is called once per worker
+// up front. rng drives the epoch shuffles (and, for the sequential
+// path, dropout — preserving the legacy RNG stream exactly).
+func (t Trainer) run(n int, rng *rand.Rand, opt *nn.Optimizer, params []*nn.Param,
+	newWorker func(w int) trainWorker) {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	workers := t.resolveWorkers()
+	if workers == 1 {
+		w0 := newWorker(0)
+		for e := 0; e < t.Epochs; e++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for start := 0; start < n; start += t.Batch {
+				end := start + t.Batch
+				if end > n {
+					end = n
 				}
+				for _, i := range order[start:end] {
+					w0.step(rng, i)
+				}
+				scaleAndStep(opt, params, end-start)
 			}
-			opt.Step(params)
+		}
+		return
+	}
+	pool := make([]trainWorker, workers)
+	rngs := make([]*rand.Rand, workers)
+	for w := range pool {
+		pool[w] = newWorker(w)
+		rngs[w] = rand.New(rand.NewSource(0))
+	}
+	var wg sync.WaitGroup
+	for e := 0; e < t.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += t.Batch {
+			end := start + t.Batch
+			if end > n {
+				end = n
+			}
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					wr := pool[w]
+					wrng := rngs[w]
+					for k := start + w; k < end; k += workers {
+						wrng.Seed(exampleSeed(t.Seed, e, k))
+						wr.step(wrng, order[k])
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Reduce worker shards in worker order so the accumulation
+			// order is deterministic for a fixed worker count.
+			for w := 1; w < workers; w++ {
+				pool[w].grads.ReduceInto(params)
+			}
+			scaleAndStep(opt, params, end-start)
 		}
 	}
+}
+
+// trainModel runs the engine over a model implementing the generic
+// Forward/Backward interface. step must run forward+backward for
+// example i on the given replica with the given dropout RNG.
+func (t Trainer) trainModel(model nn.Model, opt *nn.Optimizer, params []*nn.Param,
+	n int, rng *rand.Rand, step func(m nn.Model, rng *rand.Rand, i int)) {
+	pm, parallel := model.(nn.ParallelModel)
+	if !parallel {
+		t.Workers = 1
+	}
+	t.run(n, rng, opt, params, func(w int) trainWorker {
+		if w == 0 {
+			return trainWorker{step: func(rng *rand.Rand, i int) { step(model, rng, i) }}
+		}
+		replica := pm.CloneShared()
+		return trainWorker{
+			step:  func(rng *rand.Rand, i int) { step(replica, rng, i) },
+			grads: nn.NewGradBuffer(replica.Params()),
+		}
+	})
+}
+
+// scaleAndStep averages the summed batch gradient and applies one
+// optimizer update.
+func scaleAndStep(opt *nn.Optimizer, params []*nn.Param, batchLen int) {
+	scale := 1.0 / float64(batchLen)
+	for _, p := range params {
+		for k := range p.G {
+			p.G[k] *= scale
+		}
+	}
+	opt.Step(params)
+}
+
+// exampleSeed mixes (seed, epoch, slot) into the dropout RNG seed for
+// one training example (splitmix64 finalizer), making dropout masks a
+// pure function of the training position.
+func exampleSeed(seed int64, epoch, slot int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(epoch+1) + 0xbf58476d1ce4e5b9*uint64(slot+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // warmStartBias initializes the regression output bias at the label

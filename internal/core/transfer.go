@@ -40,14 +40,15 @@ func FineTune(m *Model, train []workload.Item, cfg Config) (*Model, error) {
 	opt := nn.NewOptimizer(nn.AdaMax, lr, cfg.Clip)
 	params := m.neural.model.Params()
 	model := m.neural.model
+	trainer := NewTrainer(cfg)
+	trainer.Seed = cfg.Seed + 1 // distinct dropout stream from pre-training
 
 	if m.Task.IsClassification() {
 		labels, _ := m.Task.Labels(train)
-		trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
-			out, cache := model.Forward(encoded[i], true, rng)
+		trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+			out, cache := mm.Forward(encoded[i], true, wrng)
 			_, _, dlogits := nn.SoftmaxCE(out, labels[i])
-			model.Backward(encoded[i], cache, dlogits)
-			return nil
+			mm.Backward(encoded[i], cache, dlogits)
 		})
 		return m, nil
 	}
@@ -59,19 +60,20 @@ func FineTune(m *Model, train []workload.Item, cfg Config) (*Model, error) {
 	for i, v := range raw {
 		logs[i] = logWithMin(v, m.LogMin)
 	}
-	trainLoop(model, opt, params, encoded, cfg, rng, func(i int) []float64 {
-		out, cache := model.Forward(encoded[i], true, rng)
+	trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+		out, cache := mm.Forward(encoded[i], true, wrng)
 		_, dpred := nn.HuberLoss(out[0], logs[i], 1)
-		model.Backward(encoded[i], cache, []float64{dpred})
-		return nil
+		var dout [1]float64
+		dout[0] = dpred
+		mm.Backward(encoded[i], cache, dout[:])
 	})
 	return m, nil
 }
 
 // TransferResult reports a source->target transfer experiment.
 type TransferResult struct {
-	SourceOnly float64 // target-test loss of the source model as-is
-	FineTuned  float64 // after fine-tuning on the target train set
+	SourceOnly  float64 // target-test loss of the source model as-is
+	FineTuned   float64 // after fine-tuning on the target train set
 	FromScratch float64 // a fresh model trained only on the target
 }
 
@@ -123,6 +125,13 @@ type MultiTaskModel struct {
 	// Log-transform minima for the two regression heads.
 	AnsLogMin, CPULogMin float64
 	kernels              int
+
+	// Reusable scratch (one example in flight at a time per instance;
+	// parallel training gives each worker its own replica).
+	pooledBuf []float64
+	cachesBuf []*nn.ConvCache
+	dxsFlat   []float64
+	dxs       [][]float64
 }
 
 type vocabEncoder interface {
@@ -180,34 +189,39 @@ func TrainMultiTask(train []workload.Item, cfg Config) (*MultiTaskModel, error) 
 	m.P = nn.ParamCount(params)
 	opt := nn.NewOptimizer(nn.AdaMax, cfg.LR, cfg.Clip)
 
-	order := make([]int, len(train))
-	for i := range order {
-		order[i] = i
-	}
-	batch := cfg.BatchSize
-	if batch <= 0 {
-		batch = 16
-	}
-	for e := 0; e < cfg.Epochs; e++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for start := 0; start < len(order); start += batch {
-			end := start + batch
-			if end > len(order) {
-				end = len(order)
-			}
-			for _, i := range order[start:end] {
-				m.step(encoded[i], errLabels[i], ansLogs[i], cpuLogs[i], rng)
-			}
-			scale := 1.0 / float64(end-start)
-			for _, p := range params {
-				for k := range p.G {
-					p.G[k] *= scale
-				}
-			}
-			opt.Step(params)
+	trainer := NewTrainer(cfg)
+	trainer.run(len(train), rng, opt, params, func(w int) trainWorker {
+		rep := m
+		var gb *nn.GradBuffer
+		if w > 0 {
+			rep = m.cloneShared()
+			gb = nn.NewGradBuffer(rep.params())
 		}
-	}
+		return trainWorker{
+			step: func(wrng *rand.Rand, i int) {
+				rep.step(encoded[i], errLabels[i], ansLogs[i], cpuLogs[i], wrng)
+			},
+			grads: gb,
+		}
+	})
 	return m, nil
+}
+
+// cloneShared returns a training replica sharing weights with m but
+// owning private gradients and scratch (see nn.ParallelModel).
+func (m *MultiTaskModel) cloneShared() *MultiTaskModel {
+	c := &MultiTaskModel{
+		emb:     m.emb.CloneShared(),
+		drop:    nn.Dropout{P: m.drop.P},
+		headE:   m.headE.CloneShared(),
+		headA:   m.headA.CloneShared(),
+		headC:   m.headC.CloneShared(),
+		kernels: m.kernels,
+	}
+	for _, cv := range m.convs {
+		c.convs = append(c.convs, cv.CloneShared())
+	}
+	return c
 }
 
 const simdbNumErrorClasses = 3
@@ -223,15 +237,20 @@ func (m *MultiTaskModel) params() []*nn.Param {
 	return params
 }
 
-// encodeFeatures runs the shared encoder.
+// encodeFeatures runs the shared encoder, reusing the model's scratch.
 func (m *MultiTaskModel) encodeFeatures(ids []int, train bool, rng *rand.Rand) (feat, preDrop []float64, caches []*nn.ConvCache, xs [][]float64, mask []float64) {
 	xs = m.emb.Forward(ids)
-	var pooled []float64
+	if cap(m.pooledBuf) < m.kernels*len(m.convs) {
+		m.pooledBuf = make([]float64, 0, m.kernels*len(m.convs))
+	}
+	pooled := m.pooledBuf[:0]
+	caches = m.cachesBuf[:0]
 	for _, conv := range m.convs {
 		p, cc := conv.Forward(xs)
 		caches = append(caches, cc)
 		pooled = append(pooled, p...)
 	}
+	m.pooledBuf, m.cachesBuf = pooled, caches
 	masked, mk := m.drop.Forward(pooled, train, rng)
 	return masked, pooled, caches, xs, mk
 }
@@ -254,9 +273,20 @@ func (m *MultiTaskModel) step(ids []int, errLabel int, ansLog, cpuLog float64, r
 	}
 	dpooled := m.drop.Backward(dfeat, mask)
 
-	dxs := make([][]float64, len(xs))
+	n := len(xs)
+	if cap(m.dxsFlat) < n*m.emb.D {
+		m.dxsFlat = make([]float64, n*m.emb.D)
+	}
+	m.dxsFlat = m.dxsFlat[:n*m.emb.D]
+	for i := range m.dxsFlat {
+		m.dxsFlat[i] = 0
+	}
+	if cap(m.dxs) < n {
+		m.dxs = make([][]float64, n)
+	}
+	dxs := m.dxs[:n]
 	for i := range dxs {
-		dxs[i] = make([]float64, m.emb.D)
+		dxs[i] = m.dxsFlat[i*m.emb.D : (i+1)*m.emb.D]
 	}
 	off := 0
 	for ci, conv := range m.convs {

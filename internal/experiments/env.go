@@ -40,11 +40,32 @@ func (s Setting) String() string {
 
 // Scale controls dataset sizes and training budgets.
 type Scale struct {
-	SDSSSessions          int
-	SQLShareUsers         int
+	SDSSSessions           int
+	SQLShareUsers          int
 	SQLShareQueriesPerUser int
-	Cfg                   core.Config
-	Seed                  int64
+	Cfg                    core.Config
+	Seed                   int64
+	// TrainWorkers, when non-zero, overrides Cfg.Workers: the number of
+	// goroutines the training engine uses per mini-batch inside each
+	// model (core.Trainer). This intra-model parallelism composes with
+	// the harness's across-model parallelism (TrainAll): total
+	// concurrency is roughly #models x TrainWorkers, so on small
+	// machines prefer one or the other. -1 selects
+	// min(GOMAXPROCS, batch size).
+	TrainWorkers int
+}
+
+// effectiveCfg resolves the per-model training config, applying the
+// TrainWorkers override.
+func (s Scale) effectiveCfg() core.Config {
+	cfg := s.Cfg
+	switch {
+	case s.TrainWorkers > 0:
+		cfg.Workers = s.TrainWorkers
+	case s.TrainWorkers < 0:
+		cfg.Workers = 0 // auto: min(GOMAXPROCS, batch)
+	}
+	return cfg
 }
 
 // DefaultScale is the full scaled-down reproduction (roughly 1/50 of
@@ -100,6 +121,7 @@ func NewEnv(scale Scale) *Env {
 		Users: scale.SQLShareUsers, QueriesPerUser: scale.SQLShareQueriesPerUser,
 		Seed: scale.Seed + 100,
 	})
+	scale.Cfg = scale.effectiveCfg()
 	env := &Env{
 		Scale:       scale,
 		SDSS:        sdssGen.Generate(),

@@ -312,10 +312,10 @@ func Figure13(env *Env) (*Figure13Result, error) {
 // Figure14Result holds CPU-time error analysis across the three
 // problem settings (Figure 14).
 type Figure14Result struct {
-	Setting      Setting
-	MSEByModel   map[string]float64
-	CharCurves   map[string][]BinnedError
-	CCNNByNest   []BinnedError
+	Setting    Setting
+	MSEByModel map[string]float64
+	CharCurves map[string][]BinnedError
+	CCNNByNest []BinnedError
 }
 
 // Figure14 reproduces the CPU-time error analysis for one setting.

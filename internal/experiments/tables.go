@@ -44,11 +44,11 @@ func Table1(env *Env) ([]Table1Row, string) {
 // Table2Row is one model's row in Table 2: error classification, CPU
 // time, and answer size prediction in Homogeneous Instance (SDSS).
 type Table2Row struct {
-	Model                                    string
-	V, P                                     int
-	Accuracy, FSevere, FSuccess, FNonSevere  float64
-	ErrLoss                                  float64
-	CPULoss, AnsLoss                         float64
+	Model                                   string
+	V, P                                    int
+	Accuracy, FSevere, FSuccess, FNonSevere float64
+	ErrLoss                                 float64
+	CPULoss, AnsLoss                        float64
 }
 
 // Table2 reproduces Table 2 on the SDSS-like workload.

@@ -6,11 +6,17 @@ import "math/rand"
 // over a sequence of d-dimensional token embeddings, followed by ReLU
 // and max-over-time pooling (Section 5.3 / Figure 11). Each kernel k
 // produces pooled[k] = max_j relu(w_k · x_{j:j+m-1} + b_k).
+//
+// Forward/Backward reuse per-layer scratch buffers; use CloneShared to
+// obtain independent replicas for concurrent workers.
 type Conv1D struct {
 	W, B  *Param
 	Width int // window size m
 	In    int // embedding dimension d
 	K     int // number of kernels
+
+	cache  ConvCache
+	pooled []float64
 }
 
 // NewConv1D allocates a kernel bank.
@@ -26,23 +32,41 @@ func NewConv1D(name string, width, in, k int, rng *rand.Rand) *Conv1D {
 // Params returns the layer's parameters.
 func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
 
-// ConvCache stores the forward state needed by Backward.
+// CloneShared returns a replica sharing weights but owning private
+// gradients and scratch.
+func (c *Conv1D) CloneShared() *Conv1D {
+	return &Conv1D{
+		W: c.W.Shadow(), B: c.B.Shadow(),
+		Width: c.Width, In: c.In, K: c.K,
+	}
+}
+
+// ConvCache stores the forward state needed by Backward, in buffers
+// owned by the layer and reused across calls.
 type ConvCache struct {
 	xs     [][]float64
 	argmax []int     // winning window start per kernel (-1: all <= 0)
 	pre    []float64 // pre-ReLU activation at the winning position
+
+	// Backward scratch.
+	dxsFlat []float64 // n*In
+	dxs     [][]float64
 }
 
 // Forward computes the pooled feature vector. Sequences shorter than
-// the window are implicitly zero-padded on the right.
+// the window are implicitly zero-padded on the right. The returned
+// slice is owned by the layer and valid until the next Forward call.
 func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 	n := len(xs)
 	positions := n - c.Width + 1
 	if positions < 1 {
 		positions = 1
 	}
-	pooled := make([]float64, c.K)
-	cache := &ConvCache{xs: xs, argmax: make([]int, c.K), pre: make([]float64, c.K)}
+	pooled := growF(&c.pooled, c.K)
+	cache := &c.cache
+	cache.xs = xs
+	growI(&cache.argmax, c.K)
+	growF(&cache.pre, c.K)
 	for k := 0; k < c.K; k++ {
 		w := c.W.W[k*c.Width*c.In : (k+1)*c.Width*c.In]
 		best := 0.0
@@ -74,12 +98,15 @@ func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 }
 
 // Backward routes dpooled through the max and ReLU into the inputs and
-// parameters, returning dL/dxs.
+// parameters, returning dL/dxs (owned by the layer, valid until the
+// next Backward call).
 func (c *Conv1D) Backward(cache *ConvCache, dpooled []float64) [][]float64 {
 	n := len(cache.xs)
-	dxs := make([][]float64, n)
+	growF(&cache.dxsFlat, n*c.In)
+	zeroF(cache.dxsFlat)
+	dxs := growV(&cache.dxs, n)
 	for i := range dxs {
-		dxs[i] = make([]float64, c.In)
+		dxs[i] = cache.dxsFlat[i*c.In : (i+1)*c.In]
 	}
 	for k := 0; k < c.K; k++ {
 		g := dpooled[k]

@@ -1,0 +1,98 @@
+package nn
+
+// This file implements the data-parallel gradient machinery: shared-
+// weight model replicas ("shadow" parameters) and per-worker gradient
+// shards that are reduced into the master parameters in a fixed order,
+// so mini-batch training can fan examples out across goroutines while
+// staying deterministic for a fixed worker count.
+
+// ParallelModel is a Model whose structure can be replicated for
+// data-parallel training. Replicas share the master's weight arrays
+// (read-only during a batch) but own private gradient accumulators and
+// private scratch buffers, so Forward/Backward on distinct replicas are
+// safe to run concurrently.
+type ParallelModel interface {
+	Model
+	// CloneShared returns a replica sharing weights with the receiver.
+	// Params() of the replica returns shadow parameters in the same
+	// order as the master's Params().
+	CloneShared() Model
+}
+
+// Shadow returns a parameter view sharing the receiver's weight array
+// but owning a fresh gradient accumulator. Optimizer state is not
+// shared: shadow params exist only to accumulate worker-local
+// gradients and must not be stepped directly.
+func (p *Param) Shadow() *Param {
+	return &Param{Name: p.Name, W: p.W, G: make([]float64, len(p.W))}
+}
+
+// GradBuffer is one worker's private gradient shard: the shadow
+// parameters of a shared-weight replica, accumulated locally during a
+// batch and reduced into the master gradients afterwards.
+type GradBuffer struct {
+	Params []*Param
+}
+
+// NewGradBuffer wraps a replica's parameters as a gradient shard.
+func NewGradBuffer(replicaParams []*Param) *GradBuffer {
+	return &GradBuffer{Params: replicaParams}
+}
+
+// ReduceInto adds the shard's gradients into dst (the master
+// parameters, in matching order) and zeroes the shard. Callers reduce
+// shards in worker order, making the floating-point accumulation order
+// deterministic for a fixed worker count.
+func (b *GradBuffer) ReduceInto(dst []*Param) {
+	ReduceGrads(dst, b.Params)
+}
+
+// ReduceGrads adds src gradients into dst gradients element-wise and
+// zeroes src. The two slices must hold parameters of identical shapes
+// in identical order.
+func ReduceGrads(dst, src []*Param) {
+	for pi, p := range src {
+		d := dst[pi].G
+		for i, g := range p.G {
+			if g != 0 {
+				d[i] += g
+				p.G[i] = 0
+			}
+		}
+	}
+}
+
+// growF resizes *buf to length n, reusing capacity when possible.
+// Contents are unspecified; callers must overwrite or zero as needed.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growV resizes a [][]float64 header slice to length n.
+func growV(buf *[][]float64, n int) [][]float64 {
+	if cap(*buf) < n {
+		*buf = make([][]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growI resizes an int buffer to length n.
+func growI(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// zeroF clears a float buffer.
+func zeroF(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}

@@ -10,6 +10,9 @@ import (
 type Embedding struct {
 	P    *Param
 	V, D int
+
+	outFlat []float64
+	outRows [][]float64
 }
 
 // NewEmbedding allocates a V x D embedding matrix.
@@ -22,18 +25,27 @@ func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
 }
 
 // Forward returns the embedding rows for ids. Rows are copies so the
-// caller may mutate them.
+// caller may mutate them; they live in a buffer owned by the layer and
+// stay valid until the next Forward call.
 func (e *Embedding) Forward(ids []int) [][]float64 {
-	out := make([][]float64, len(ids))
+	n := len(ids)
+	growF(&e.outFlat, n*e.D)
+	out := growV(&e.outRows, n)
 	for i, id := range ids {
 		if id < 0 || id >= e.V {
 			id = 0
 		}
-		row := make([]float64, e.D)
+		row := e.outFlat[i*e.D : (i+1)*e.D]
 		copy(row, e.P.W[id*e.D:(id+1)*e.D])
 		out[i] = row
 	}
 	return out
+}
+
+// CloneShared returns a replica sharing weights but owning private
+// gradients and scratch.
+func (e *Embedding) CloneShared() *Embedding {
+	return &Embedding{P: e.P.Shadow(), V: e.V, D: e.D}
 }
 
 // Backward accumulates gradients for the rows selected by ids.
@@ -56,6 +68,8 @@ func (e *Embedding) Params() []*Param { return []*Param{e.P} }
 type Dense struct {
 	W, B    *Param
 	In, Out int
+
+	y, dx []float64
 }
 
 // NewDense allocates an Out x In dense layer.
@@ -68,9 +82,16 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 	}
 }
 
-// Forward computes Wx + b.
+// CloneShared returns a replica sharing weights but owning private
+// gradients and scratch.
+func (d *Dense) CloneShared() *Dense {
+	return &Dense{W: d.W.Shadow(), B: d.B.Shadow(), In: d.In, Out: d.Out}
+}
+
+// Forward computes Wx + b. The returned slice is owned by the layer
+// and valid until the next Forward call.
 func (d *Dense) Forward(x []float64) []float64 {
-	y := make([]float64, d.Out)
+	y := growF(&d.y, d.Out)
 	for o := 0; o < d.Out; o++ {
 		w := d.W.W[o*d.In : (o+1)*d.In]
 		sum := d.B.W[o]
@@ -82,9 +103,11 @@ func (d *Dense) Forward(x []float64) []float64 {
 	return y
 }
 
-// Backward accumulates parameter gradients and returns dL/dx.
+// Backward accumulates parameter gradients and returns dL/dx (owned by
+// the layer, valid until the next Backward call).
 func (d *Dense) Backward(x, dy []float64) []float64 {
-	dx := make([]float64, d.In)
+	dx := growF(&d.dx, d.In)
+	zeroF(dx)
 	for o := 0; o < d.Out; o++ {
 		g := dy[o]
 		if g == 0 {
@@ -108,21 +131,28 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // scaling survivors by 1/(1-p) (inverted dropout).
 type Dropout struct {
 	P float64
+
+	out, mask, dx []float64
 }
 
 // Forward applies dropout, returning the output and the mask used.
 // At evaluation time (train=false) it is the identity with a nil mask.
+// The returned slices are owned by the layer and valid until the next
+// Forward call.
 func (dr *Dropout) Forward(x []float64, train bool, rng *rand.Rand) ([]float64, []float64) {
 	if !train || dr.P <= 0 {
 		return x, nil
 	}
 	keep := 1 - dr.P
-	out := make([]float64, len(x))
-	mask := make([]float64, len(x))
+	out := growF(&dr.out, len(x))
+	mask := growF(&dr.mask, len(x))
 	for i := range x {
 		if rng.Float64() < keep {
 			mask[i] = 1 / keep
 			out[i] = x[i] * mask[i]
+		} else {
+			mask[i] = 0
+			out[i] = 0
 		}
 	}
 	return out, mask
@@ -133,7 +163,7 @@ func (dr *Dropout) Backward(dy, mask []float64) []float64 {
 	if mask == nil {
 		return dy
 	}
-	dx := make([]float64, len(dy))
+	dx := growF(&dr.dx, len(dy))
 	for i := range dy {
 		dx[i] = dy[i] * mask[i]
 	}

@@ -16,9 +16,15 @@ import (
 //	h  = Γo ⊙ tanh(c)
 //
 // Gate weights are packed in order [candidate, update, forget, output].
+//
+// Forward/Backward reuse per-layer scratch buffers, so a layer instance
+// must not be used from multiple goroutines; data-parallel training
+// gives each worker its own replica via CloneShared.
 type LSTMLayer struct {
 	Wx, Wh, B *Param
 	In, H     int
+
+	cache LSTMCache
 }
 
 // NewLSTMLayer allocates a layer mapping In-dim inputs to H-dim hidden
@@ -42,99 +48,155 @@ func NewLSTMLayer(name string, in, hidden int, rng *rand.Rand) *LSTMLayer {
 // Params returns the layer's parameters.
 func (l *LSTMLayer) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
-// LSTMCache stores the forward activations needed by BPTT.
+// CloneShared returns a replica sharing weights but owning private
+// gradients and scratch.
+func (l *LSTMLayer) CloneShared() *LSTMLayer {
+	return &LSTMLayer{
+		Wx: l.Wx.Shadow(), Wh: l.Wh.Shadow(), B: l.B.Shadow(),
+		In: l.In, H: l.H,
+	}
+}
+
+// LSTMCache stores the forward activations needed by BPTT in flat
+// backing arrays owned by the layer and reused across calls.
 type LSTMCache struct {
 	xs [][]float64 // inputs per step
-	// per step: candidate (tanh), update, forget, output gate values
-	cand, gu, gf, go_ [][]float64
-	cs, tanhCs        [][]float64 // cell states and their tanh
-	hs                [][]float64 // hidden states (outputs)
+	n  int         // steps in the cached sequence
+
+	// Flat per-step activations. gates is n*4h with per-step layout
+	// [candidate h | update h | forget h | output h]; cs/tanhCs/hs are
+	// n*h (cell states, their tanh, hidden states).
+	gates, cs, tanhCs, hs []float64
+	hsRows                [][]float64 // row headers into hs
+
+	// Forward scratch.
+	pre []float64 // 4h pre-activations for the current step
+
+	// Backward scratch. dhA/dhB swap roles as dhNext/dhPrev across
+	// timesteps; zero stays all-zero (cPrev at t=0).
+	dh, dc, dcNext, dhA, dhB, zero []float64 // h each
+	dpre                           []float64 // 4h
+	dxsFlat                        []float64 // n*In
+	dxs                            [][]float64
 }
 
 // Hidden returns the sequence of hidden states.
-func (c *LSTMCache) Hidden() [][]float64 { return c.hs }
+func (c *LSTMCache) Hidden() [][]float64 { return c.hsRows }
+
+// ensure sizes the cache for an n-step sequence.
+func (c *LSTMCache) ensure(n, h int) {
+	c.n = n
+	growF(&c.gates, n*4*h)
+	growF(&c.cs, n*h)
+	growF(&c.tanhCs, n*h)
+	growF(&c.hs, n*h)
+	growV(&c.hsRows, n)
+	for t := 0; t < n; t++ {
+		c.hsRows[t] = c.hs[t*h : (t+1)*h]
+	}
+	growF(&c.pre, 4*h)
+}
 
 // Forward runs the layer over the input sequence, returning hidden
-// states for every step and the cache for Backward.
+// states for every step and the cache for Backward. The returned
+// slices are owned by the layer and valid until the next Forward call.
 func (l *LSTMLayer) Forward(xs [][]float64) ([][]float64, *LSTMCache) {
 	n := len(xs)
 	h := l.H
-	cache := &LSTMCache{
-		xs:   xs,
-		cand: make([][]float64, n), gu: make([][]float64, n),
-		gf: make([][]float64, n), go_: make([][]float64, n),
-		cs: make([][]float64, n), tanhCs: make([][]float64, n),
-		hs: make([][]float64, n),
-	}
-	hPrev := make([]float64, h)
-	cPrev := make([]float64, h)
+	cache := &l.cache
+	cache.xs = xs
+	cache.ensure(n, h)
+	pre := cache.pre
 	for t := 0; t < n; t++ {
-		pre := make([]float64, 4*h)
 		copy(pre, l.B.W)
 		x := xs[t]
+		var hPrev []float64
+		if t > 0 {
+			hPrev = cache.hs[(t-1)*h : t*h]
+		}
 		for g := 0; g < 4*h; g++ {
 			row := l.Wx.W[g*l.In : (g+1)*l.In]
 			sum := pre[g]
 			for i, xi := range x {
 				sum += row[i] * xi
 			}
-			rowH := l.Wh.W[g*h : (g+1)*h]
-			for i, hi := range hPrev {
-				sum += rowH[i] * hi
+			if hPrev != nil {
+				rowH := l.Wh.W[g*h : (g+1)*h]
+				for i, hi := range hPrev {
+					sum += rowH[i] * hi
+				}
 			}
 			pre[g] = sum
 		}
-		cand := make([]float64, h)
-		gu := make([]float64, h)
-		gf := make([]float64, h)
-		gout := make([]float64, h)
-		c := make([]float64, h)
-		tc := make([]float64, h)
-		hVec := make([]float64, h)
+		gb := t * 4 * h
+		cand := cache.gates[gb : gb+h]
+		gu := cache.gates[gb+h : gb+2*h]
+		gf := cache.gates[gb+2*h : gb+3*h]
+		gout := cache.gates[gb+3*h : gb+4*h]
+		var cPrev []float64
+		if t > 0 {
+			cPrev = cache.cs[(t-1)*h : t*h]
+		}
+		c := cache.cs[t*h : (t+1)*h]
+		tc := cache.tanhCs[t*h : (t+1)*h]
+		hVec := cache.hs[t*h : (t+1)*h]
 		for i := 0; i < h; i++ {
 			cand[i] = math.Tanh(pre[i])
 			gu[i] = sigmoid(pre[h+i])
 			gf[i] = sigmoid(pre[2*h+i])
 			gout[i] = sigmoid(pre[3*h+i])
-			c[i] = gu[i]*cand[i] + gf[i]*cPrev[i]
+			if cPrev != nil {
+				c[i] = gu[i]*cand[i] + gf[i]*cPrev[i]
+			} else {
+				c[i] = gu[i] * cand[i]
+			}
 			tc[i] = math.Tanh(c[i])
 			hVec[i] = gout[i] * tc[i]
 		}
-		cache.cand[t], cache.gu[t], cache.gf[t], cache.go_[t] = cand, gu, gf, gout
-		cache.cs[t], cache.tanhCs[t], cache.hs[t] = c, tc, hVec
-		hPrev, cPrev = hVec, c
 	}
-	return cache.hs, cache
+	return cache.hsRows, cache
 }
 
 // Backward runs BPTT. dhs[t] is the gradient flowing into h_t from
 // above (nil entries mean zero). It returns gradients with respect to
-// the inputs and accumulates parameter gradients.
+// the inputs (owned by the layer, valid until the next Backward call)
+// and accumulates parameter gradients.
 func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
-	n := len(cache.xs)
+	n := cache.n
 	h := l.H
-	dxs := make([][]float64, n)
-	dhNext := make([]float64, h)
-	dcNext := make([]float64, h)
+	growF(&cache.dxsFlat, n*l.In)
+	zeroF(cache.dxsFlat)
+	dxs := growV(&cache.dxs, n)
+	dh := growF(&cache.dh, h)
+	dc := growF(&cache.dc, h)
+	dpre := growF(&cache.dpre, 4*h)
+	growF(&cache.zero, h)
+	zeroF(cache.zero)
+	dhNext := growF(&cache.dhA, h)
+	zeroF(dhNext)
+	dhPrev := growF(&cache.dhB, h)
+	dcNext := growF(&cache.dcNext, h)
+	zeroF(dcNext)
 	for t := n - 1; t >= 0; t-- {
-		dh := make([]float64, h)
 		copy(dh, dhNext)
 		if t < len(dhs) && dhs[t] != nil {
 			for i, v := range dhs[t] {
 				dh[i] += v
 			}
 		}
-		cand, gu, gf, gout := cache.cand[t], cache.gu[t], cache.gf[t], cache.go_[t]
-		tc := cache.tanhCs[t]
+		gb := t * 4 * h
+		cand := cache.gates[gb : gb+h]
+		gu := cache.gates[gb+h : gb+2*h]
+		gf := cache.gates[gb+2*h : gb+3*h]
+		gout := cache.gates[gb+3*h : gb+4*h]
+		tc := cache.tanhCs[t*h : (t+1)*h]
 		var cPrev []float64
 		if t > 0 {
-			cPrev = cache.cs[t-1]
+			cPrev = cache.cs[(t-1)*h : t*h]
 		} else {
-			cPrev = make([]float64, h)
+			cPrev = cache.zero
 		}
 		// Gradients through h = go * tanh(c).
-		dpre := make([]float64, 4*h)
-		dc := make([]float64, h)
 		for i := 0; i < h; i++ {
 			dgo := dh[i] * tc[i]
 			dci := dh[i]*gout[i]*(1-tc[i]*tc[i]) + dcNext[i]
@@ -151,10 +213,10 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 		x := cache.xs[t]
 		var hPrev []float64
 		if t > 0 {
-			hPrev = cache.hs[t-1]
+			hPrev = cache.hs[(t-1)*h : t*h]
 		}
-		dx := make([]float64, l.In)
-		dhPrev := make([]float64, h)
+		dx := cache.dxsFlat[t*l.In : (t+1)*l.In]
+		zeroF(dhPrev)
 		for g := 0; g < 4*h; g++ {
 			gr := dpre[g]
 			if gr == 0 {
@@ -167,9 +229,9 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 				gRowX[i] += gr * xi
 				dx[i] += gr * rowX[i]
 			}
-			rowH := l.Wh.W[g*h : (g+1)*h]
-			gRowH := l.Wh.G[g*h : (g+1)*h]
 			if hPrev != nil {
+				rowH := l.Wh.W[g*h : (g+1)*h]
+				gRowH := l.Wh.G[g*h : (g+1)*h]
 				for i, hi := range hPrev {
 					gRowH[i] += gr * hi
 					dhPrev[i] += gr * rowH[i]
@@ -177,7 +239,7 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 			}
 		}
 		dxs[t] = dx
-		dhNext = dhPrev
+		dhNext, dhPrev = dhPrev, dhNext
 		// dcNext flows via the forget gate.
 		for i := 0; i < h; i++ {
 			dcNext[i] = dc[i] * gf[i]

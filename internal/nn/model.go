@@ -4,6 +4,11 @@ import "math/rand"
 
 // Model is a sequence model mapping token-id sequences to output
 // vectors (class logits, or a single regression value).
+//
+// Implementations reuse internal scratch buffers across calls, so a
+// Model instance must not be used from multiple goroutines at once;
+// for data-parallel training obtain per-worker replicas via
+// ParallelModel.CloneShared.
 type Model interface {
 	// Forward runs the network. The returned cache must be passed to
 	// Backward. rng drives dropout at train time.
@@ -33,6 +38,8 @@ type CNNModel struct {
 	Convs []*Conv1D
 	Drop  Dropout
 	FC    *Dense
+
+	cache cnnCache
 }
 
 // NewCNN builds a CNN model.
@@ -55,13 +62,30 @@ type cnnCache struct {
 	pooled []float64 // concatenated, pre-dropout
 	masked []float64 // post-dropout (input to FC)
 	mask   []float64
+
+	// Backward scratch.
+	dxsFlat []float64
+	dxs     [][]float64
+}
+
+// CloneShared implements ParallelModel.
+func (m *CNNModel) CloneShared() Model {
+	c := &CNNModel{cfg: m.cfg, Drop: Dropout{P: m.Drop.P}}
+	c.Emb = m.Emb.CloneShared()
+	for _, conv := range m.Convs {
+		c.Convs = append(c.Convs, conv.CloneShared())
+	}
+	c.FC = m.FC.CloneShared()
+	return c
 }
 
 // Forward implements Model.
 func (m *CNNModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, any) {
 	xs := m.Emb.Forward(ids)
-	cache := &cnnCache{xs: xs}
-	pooled := make([]float64, 0, m.cfg.Kernels*len(m.Convs))
+	cache := &m.cache
+	cache.xs = xs
+	cache.convs = cache.convs[:0]
+	pooled := growF(&cache.pooled, m.cfg.Kernels*len(m.Convs))[:0]
 	for _, conv := range m.Convs {
 		p, cc := conv.Forward(xs)
 		cache.convs = append(cache.convs, cc)
@@ -78,9 +102,12 @@ func (m *CNNModel) Backward(ids []int, cacheAny any, dout []float64) {
 	cache := cacheAny.(*cnnCache)
 	dmasked := m.FC.Backward(cache.masked, dout)
 	dpooled := m.Drop.Backward(dmasked, cache.mask)
-	dxs := make([][]float64, len(cache.xs))
+	n := len(cache.xs)
+	growF(&cache.dxsFlat, n*m.cfg.Embed)
+	zeroF(cache.dxsFlat)
+	dxs := growV(&cache.dxs, n)
 	for i := range dxs {
-		dxs[i] = make([]float64, m.cfg.Embed)
+		dxs[i] = cache.dxsFlat[i*m.cfg.Embed : (i+1)*m.cfg.Embed]
 	}
 	off := 0
 	for ci, conv := range m.Convs {
@@ -122,6 +149,10 @@ type LSTMModel struct {
 	Emb    *Embedding
 	Layers []*LSTMLayer
 	FC     *Dense
+
+	cache  lstmModelCache
+	dhs    [][]float64 // backward scratch: gradient into the top layer
+	padOne [1]int      // stand-in ids for empty sequences
 }
 
 // NewLSTM builds a stacked LSTM model.
@@ -145,14 +176,27 @@ type lstmModelCache struct {
 	last        []float64 // final hidden state of the top layer
 }
 
+// CloneShared implements ParallelModel.
+func (m *LSTMModel) CloneShared() Model {
+	c := &LSTMModel{cfg: m.cfg}
+	c.Emb = m.Emb.CloneShared()
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, l.CloneShared())
+	}
+	c.FC = m.FC.CloneShared()
+	return c
+}
+
 // Forward implements Model. Empty sequences are padded with the
 // unknown token so the network always has at least one step.
 func (m *LSTMModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, any) {
 	if len(ids) == 0 {
-		ids = []int{0}
+		m.padOne[0] = 0
+		ids = m.padOne[:]
 	}
 	xs := m.Emb.Forward(ids)
-	cache := &lstmModelCache{}
+	cache := &m.cache
+	cache.layerCaches = cache.layerCaches[:0]
 	for _, layer := range m.Layers {
 		hs, lc := layer.Forward(xs)
 		cache.layerCaches = append(cache.layerCaches, lc)
@@ -165,13 +209,17 @@ func (m *LSTMModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, a
 // Backward implements Model.
 func (m *LSTMModel) Backward(ids []int, cacheAny any, dout []float64) {
 	if len(ids) == 0 {
-		ids = []int{0}
+		m.padOne[0] = 0
+		ids = m.padOne[:]
 	}
 	cache := cacheAny.(*lstmModelCache)
 	dlast := m.FC.Backward(cache.last, dout)
-	n := len(cache.layerCaches[0].xs)
+	n := cache.layerCaches[0].n
 	// Gradient into the top layer arrives only at the last step.
-	dhs := make([][]float64, n)
+	dhs := growV(&m.dhs, n)
+	for i := range dhs {
+		dhs[i] = nil
+	}
 	dhs[n-1] = dlast
 	for l := len(m.Layers) - 1; l >= 0; l-- {
 		dhs = m.Layers[l].Backward(cache.layerCaches[l], dhs)

@@ -15,14 +15,14 @@ const (
 
 // Optimizer applies gradient updates to parameters.
 type Optimizer struct {
-	Kind   OptimizerKind
-	LR     float64
-	Beta1  float64
-	Beta2  float64
-	Eps    float64
-	Clip   float64 // global grad-norm clip; 0 disables
-	Decay  float64 // L2 weight decay; the paper sets 0
-	t      int
+	Kind  OptimizerKind
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	Clip  float64 // global grad-norm clip; 0 disables
+	Decay float64 // L2 weight decay; the paper sets 0
+	t     int
 }
 
 // NewOptimizer returns an optimizer with the paper's hyper-parameters

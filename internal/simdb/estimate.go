@@ -13,11 +13,11 @@ import (
 // tables cost tens of seconds, and row-wise function evaluation over a
 // large scan (the Figure 1b anti-pattern) costs thousands of seconds.
 const (
-	cpuPerRowScan   = 2e-8  // per row examined in a scan
-	cpuPerRowOut    = 5e-9  // per output row per column
-	cpuPerPredicate = 8e-9  // per row per predicate evaluated
+	cpuPerRowScan   = 2e-8   // per row examined in a scan
+	cpuPerRowOut    = 5e-9   // per output row per column
+	cpuPerPredicate = 8e-9   // per row per predicate evaluated
 	cpuHashJoinRow  = 2.5e-8 // per row hashed or probed
-	cpuSortRowLog   = 2e-8  // per row per log2(rows) in a sort
+	cpuSortRowLog   = 2e-8   // per row per log2(rows) in a sort
 	cpuAggRow       = 1.5e-8
 	cpuIndexSeek    = 1e-5 // fixed cost of one B-tree descent
 	cpuStatementMin = 1.2e-3
@@ -28,9 +28,9 @@ const defaultTableRows = 50_000
 
 // planEstimate is the estimator's view of one relational operator tree.
 type planEstimate struct {
-	Rows    float64 // output cardinality
-	Cost    float64 // CPU seconds
-	Width   float64 // output columns
+	Rows  float64 // output cardinality
+	Cost  float64 // CPU seconds
+	Width float64 // output columns
 }
 
 // estimator walks SELECT trees computing cardinality and cost. The same

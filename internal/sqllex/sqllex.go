@@ -11,6 +11,7 @@ package sqllex
 import (
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -56,14 +57,34 @@ func CharsWithSpace(query string) []string {
 	return tokens
 }
 
+// runesPool recycles the rune buffer the word tokenizer decodes each
+// query into, so repeated tokenization (workload generation, feature
+// extraction, vocabulary building) stops re-allocating it per query.
+var runesPool = sync.Pool{
+	New: func() any {
+		buf := make([]rune, 0, 256)
+		return &buf
+	},
+}
+
 // Words splits a query into word-level tokens. Identifiers and keywords
 // become single tokens; punctuation and operators are tokens of their
 // own; numeric literals are replaced by DigitToken. SQL string literals
 // are kept as single tokens (their content is usually a constant and is
 // digit-normalized as well).
 func Words(query string) []string {
-	var tokens []string
-	runes := []rune(query)
+	rp := runesPool.Get().(*[]rune)
+	runes := (*rp)[:0]
+	for _, r := range query {
+		runes = append(runes, r)
+	}
+	defer func() {
+		*rp = runes
+		runesPool.Put(rp)
+	}()
+	// Word tokens run ~4 characters on average in SQL text; pre-size to
+	// avoid growth reallocations on typical statements.
+	tokens := make([]string, 0, len(runes)/4+4)
 	n := len(runes)
 	i := 0
 	for i < n {
@@ -247,15 +268,32 @@ func (v *Vocabulary) Token(id int) string {
 // Size returns the number of tokens including UnknownToken.
 func (v *Vocabulary) Size() int { return len(v.words) }
 
-// Encode maps tokens to ids, truncating to maxLen when maxLen > 0.
+// Encode maps tokens to ids, truncating to maxLen when maxLen > 0. The
+// result is freshly allocated at its exact final size; hot paths that
+// can recycle the output should use EncodeInto.
 func (v *Vocabulary) Encode(tokens []string, maxLen int) []int {
-	n := len(tokens)
+	n := encodeLen(len(tokens), maxLen)
+	return v.encode(tokens, make([]int, 0, n), n)
+}
+
+// EncodeInto encodes into dst's backing array (growing it only when
+// capacity is insufficient) and returns the encoded slice. The result
+// aliases dst and is only valid until the next EncodeInto call with the
+// same buffer.
+func (v *Vocabulary) EncodeInto(tokens []string, maxLen int, dst []int) []int {
+	return v.encode(tokens, dst[:0], encodeLen(len(tokens), maxLen))
+}
+
+func encodeLen(n, maxLen int) int {
 	if maxLen > 0 && n > maxLen {
-		n = maxLen
+		return maxLen
 	}
-	ids := make([]int, n)
+	return n
+}
+
+func (v *Vocabulary) encode(tokens []string, ids []int, n int) []int {
 	for i := 0; i < n; i++ {
-		ids[i] = v.ID(tokens[i])
+		ids = append(ids, v.ID(tokens[i]))
 	}
 	return ids
 }

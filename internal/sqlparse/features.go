@@ -97,7 +97,9 @@ func countNonSpaceChars(query string) int {
 // heuristicStructure estimates structural counts from tokens when the
 // parser fails, so that workload analysis covers every entry.
 func heuristicStructure(query string, f *Features) {
-	toks := Lex(query)
+	st := borrowToks(query)
+	defer releaseToks(st)
+	toks := st.toks
 	depth, maxDepth := 0, 0
 	for i, t := range toks {
 		switch t.Kind {

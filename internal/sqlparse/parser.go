@@ -9,7 +9,9 @@ import (
 // returns an error when the input is not valid SQL in the supported
 // dialect; callers use that signal for the paper's severe error class.
 func Parse(input string) ([]Statement, error) {
-	p := &parser{toks: Lex(input)}
+	st := borrowToks(input)
+	defer releaseToks(st)
+	p := &parser{toks: st.toks}
 	var stmts []Statement
 	for {
 		for p.peek().Kind == TokSemicolon {
@@ -55,7 +57,7 @@ type parser struct {
 
 const maxParseDepth = 200
 
-func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos] }
 func (p *parser) peek2() Token {
 	if p.pos+1 < len(p.toks) {
 		return p.toks[p.pos+1]

@@ -13,6 +13,7 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -62,7 +63,9 @@ func newLexer(input string) *lexer {
 }
 
 // Lex tokenizes the whole input. It never fails: unknown characters
-// become single-character operator tokens.
+// become single-character operator tokens. The returned slice is
+// freshly allocated; the parsing hot path uses pooled lexer state
+// instead (see lexState).
 func Lex(input string) []Token {
 	lx := newLexer(input)
 	var toks []Token
@@ -74,6 +77,40 @@ func Lex(input string) []Token {
 		}
 	}
 }
+
+// lexState is the reusable tokenizer state threaded through the pooled
+// parsing path: the lexer's rune buffer plus the token slice, both
+// recycled across queries (the sync.Pool parser idiom used by
+// production SQL frontends). Token.Text values are fresh strings, so
+// AST nodes built from pooled tokens stay valid after release.
+type lexState struct {
+	lx   lexer
+	toks []Token
+}
+
+var lexPool = sync.Pool{New: func() any { return new(lexState) }}
+
+// borrowToks lexes input into pooled state. Callers must call
+// releaseToks when done with the token slice and must not retain it.
+func borrowToks(input string) *lexState {
+	st := lexPool.Get().(*lexState)
+	st.lx.runes = st.lx.runes[:0]
+	for _, r := range input {
+		st.lx.runes = append(st.lx.runes, r)
+	}
+	st.lx.pos = 0
+	st.toks = st.toks[:0]
+	for {
+		tok := st.lx.next()
+		st.toks = append(st.toks, tok)
+		if tok.Kind == TokEOF {
+			return st
+		}
+	}
+}
+
+// releaseToks returns pooled tokenizer state.
+func releaseToks(st *lexState) { lexPool.Put(st) }
 
 func (lx *lexer) next() Token {
 	lx.skipSpaceAndComments()

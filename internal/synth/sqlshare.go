@@ -12,9 +12,9 @@ import (
 
 // SQLShareConfig controls the SQLShare-like workload generator.
 type SQLShareConfig struct {
-	Users           int
-	QueriesPerUser  int // mean; actual counts vary per user
-	Seed            int64
+	Users          int
+	QueriesPerUser int // mean; actual counts vary per user
+	Seed           int64
 }
 
 // DefaultSQLShareConfig returns the scaled-down default used by the
