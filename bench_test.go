@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/simdb"
 )
 
@@ -485,6 +486,98 @@ func BenchmarkLSTMForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if p := m.Probs(q); len(p) != 3 {
 			b.Fatal("probs")
+		}
+	}
+}
+
+// BenchmarkPredictClass measures the warm single-prediction path for
+// the neural models (PredictClass reads the model's softmax scratch
+// directly): 0 allocs/op.
+func BenchmarkPredictClass(b *testing.B) {
+	env := getBenchEnv(b)
+	q := "SELECT p.objid, p.ra FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152"
+	for _, name := range []string{"ccnn", "wcnn", "clstm", "wlstm"} {
+		m, err := env.Model(name, core.ErrorClassification, experiments.HomoInstance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			m.PredictClass(q) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictClass(q)
+			}
+		})
+	}
+}
+
+// BenchmarkPredictProbsInto measures the warm distribution path with a
+// caller-owned output buffer: 0 allocs/op.
+func BenchmarkPredictProbsInto(b *testing.B) {
+	env := getBenchEnv(b)
+	q := "SELECT p.objid, p.ra FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152"
+	for _, name := range []string{"ccnn", "clstm"} {
+		m, err := env.Model(name, core.ErrorClassification, experiments.HomoInstance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			dst := make([]float64, 0, 8)
+			dst = m.ProbsInto(q, dst)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = m.ProbsInto(q, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkServePredict measures single-client request latency through
+// the serving layer (queue hop + replica inference): 0 allocs/op warm.
+func BenchmarkServePredict(b *testing.B) {
+	env := getBenchEnv(b)
+	q := "SELECT p.objid, p.ra FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152"
+	m, err := env.Model("ccnn", core.ErrorClassification, experiments.HomoInstance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := serve.NewPredictor(m, serve.Options{Replicas: 1})
+	defer p.Close()
+	p.PredictClass(q) // warm the request pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictClass(q)
+	}
+}
+
+// BenchmarkServeThroughput measures aggregate served predictions per
+// second with concurrent clients hammering a replica pool; replicas>1
+// scale on multi-core machines.
+func BenchmarkServeThroughput(b *testing.B) {
+	env := getBenchEnv(b)
+	q := "SELECT p.objid, p.ra FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152"
+	for _, name := range []string{"ccnn", "clstm"} {
+		m, err := env.Model(name, core.ErrorClassification, experiments.HomoInstance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, replicas := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/replicas=%d", name, replicas), func(b *testing.B) {
+				p := serve.NewPredictor(m, serve.Options{Replicas: replicas})
+				defer p.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						p.PredictClass(q)
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "served/s")
+			})
 		}
 	}
 }

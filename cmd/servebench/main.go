@@ -1,0 +1,106 @@
+// Command servebench load-tests the serving layer: it trains one model
+// on a synthetic workload, wraps it in a serve.Predictor, drives it
+// with concurrent clients replaying test-split statements for a fixed
+// duration, and prints the service metrics (throughput, p50/p99
+// latency, queue depth, micro-batch sizes).
+//
+// Examples:
+//
+//	servebench -model ccnn -task error -replicas 4 -clients 16 -duration 5s
+//	servebench -model clstm -task cpu -window 200us -max-batch 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	model := flag.String("model", "ccnn", "model to serve (mfreq, median, ctfidf, wtfidf, ccnn, wcnn, clstm, wlstm)")
+	taskName := flag.String("task", "error", "task: error, session, cpu, answer, elapsed")
+	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas (worker goroutines)")
+	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "concurrent load-generating clients")
+	duration := flag.Duration("duration", 3*time.Second, "load duration")
+	window := flag.Duration("window", 0, "micro-batch gather window (0 = opportunistic only)")
+	maxBatch := flag.Int("max-batch", 32, "max requests per micro-batch")
+	queue := flag.Int("queue", 0, "request queue size (0 = default)")
+	sessions := flag.Int("sessions", 1400, "synthetic SDSS sessions for train/test data")
+	flag.Parse()
+
+	task, err := parseTask(*taskName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scale := experiments.SmallScale()
+	scale.SDSSSessions = *sessions
+	env := experiments.NewEnv(scale)
+	split := env.SDSSSplit
+
+	fmt.Fprintf(os.Stderr, "training %s for %s on %d statements...\n", *model, task, len(split.Train))
+	m, err := env.Model(*model, task, experiments.HomoInstance)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := serve.NewPredictor(m, serve.Options{
+		Replicas:    *replicas,
+		QueueSize:   *queue,
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+	})
+	defer p.Close()
+
+	stmts := make([]string, len(split.Test))
+	for i, item := range split.Test {
+		stmts[i] = item.Statement
+	}
+	fmt.Fprintf(os.Stderr, "serving with %d replicas, %d clients, %s window, for %s...\n",
+		*replicas, *clients, *window, *duration)
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			classification := task.IsClassification()
+			for i := c; time.Now().Before(deadline); i++ {
+				stmt := stmts[i%len(stmts)]
+				if classification {
+					p.PredictClass(stmt)
+				} else {
+					p.PredictLog(stmt)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	fmt.Println(p.Stats())
+}
+
+func parseTask(s string) (core.Task, error) {
+	switch s {
+	case "error":
+		return core.ErrorClassification, nil
+	case "session":
+		return core.SessionClassification, nil
+	case "cpu":
+		return core.CPUTimePrediction, nil
+	case "answer":
+		return core.AnswerSizePrediction, nil
+	case "elapsed":
+		return core.ElapsedTimePrediction, nil
+	default:
+		return 0, fmt.Errorf("unknown task %q (want error, session, cpu, answer, elapsed)", s)
+	}
+}

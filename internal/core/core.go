@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -168,8 +167,9 @@ func TinyConfig() Config {
 //
 // Prediction methods on neural models reuse internal scratch buffers
 // (the allocation-free hot-path contract of internal/nn), so a Model
-// instance is not safe for concurrent use; give each goroutine its own
-// trained Model, or serialize calls.
+// instance is not safe for concurrent use; obtain shared-weight
+// replicas with Replicate (or wrap the model in a serve.Predictor),
+// or serialize calls.
 type Model struct {
 	Name string
 	Task Task
@@ -196,25 +196,42 @@ type nnBackend struct {
 	vocab *sqllex.Vocabulary
 }
 
-// Probs returns the class distribution for a statement. Not safe for
-// concurrent use (see Model).
+// Probs returns the class distribution for a statement in a freshly
+// allocated slice that is safe to retain. Not safe for concurrent use
+// (see Model); hot paths that own an output buffer should use
+// ProbsInto.
 func (m *Model) Probs(stmt string) []float64 {
 	if m.probs == nil {
 		return nil
 	}
-	return m.probs(stmt)
+	p := m.probs(stmt)
+	if p == nil {
+		return nil
+	}
+	return append([]float64(nil), p...)
 }
 
-// PredictClass returns the argmax class for a statement.
-func (m *Model) PredictClass(stmt string) int {
-	p := m.Probs(stmt)
-	best := 0
-	for c := range p {
-		if p[c] > p[best] {
-			best = c
-		}
+// ProbsInto writes the class distribution for a statement into dst
+// (reusing its backing array, growing it only when capacity is
+// insufficient) and returns the written slice. When dst has capacity
+// for the class count, the warm neural path performs zero allocations.
+// Not safe for concurrent use (see Model).
+func (m *Model) ProbsInto(stmt string, dst []float64) []float64 {
+	if m.probs == nil {
+		return nil
 	}
-	return best
+	return append(dst[:0], m.probs(stmt)...)
+}
+
+// PredictClass returns the argmax class for a statement. It reads the
+// model's internal distribution scratch directly, so the warm neural
+// path performs zero allocations. Not safe for concurrent use (see
+// Model).
+func (m *Model) PredictClass(stmt string) int {
+	if m.probs == nil {
+		return 0
+	}
+	return argmax(m.probs(stmt))
 }
 
 // PredictLog returns the log-space regression prediction. Not safe for
@@ -293,11 +310,12 @@ func trainMedian(task Task, train []workload.Item) (*Model, error) {
 	}
 	_, raw := task.Labels(train)
 	logs, min := metrics.LogTransform(raw)
-	sorted := append([]float64(nil), logs...)
-	sort.Float64s(sorted)
+	// metrics.Median interpolates the two middle values for even-length
+	// samples, keeping the baseline consistent with
+	// metrics.Percentile(logs, 50) everywhere else in the evaluation.
 	med := 0.0
-	if len(sorted) > 0 {
-		med = sorted[len(sorted)/2]
+	if len(logs) > 0 {
+		med = metrics.Median(logs)
 	}
 	return &Model{
 		Name: "median", Task: task, LogMin: min,

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestMedianBaselineMatchesPercentile pins the fixed even-length
+// behavior: the median baseline must agree with
+// metrics.Percentile(logs, 50) (which interpolates the two middle
+// values) instead of taking the upper middle element.
+func TestMedianBaselineMatchesPercentile(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		times []float64
+	}{
+		{"odd", []float64{0, 1, 100}},
+		{"even", []float64{0, 1, 10, 100}},
+		{"even-two", []float64{2, 4}},
+		{"single", []float64{7}},
+	} {
+		items := make([]workload.Item, len(tc.times))
+		for i, v := range tc.times {
+			items[i] = workload.Item{Statement: "q", CPUTime: v}
+		}
+		m, err := Train("median", CPUTimePrediction, items, TinyConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		_, raw := CPUTimePrediction.Labels(items)
+		logs, _ := metrics.LogTransform(raw)
+		want := metrics.Percentile(logs, 50)
+		if got := m.PredictLog("anything"); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s: median baseline = %v, Percentile(logs, 50) = %v", tc.name, got, want)
+		}
+		if got, want2 := m.PredictLog("x"), metrics.Median(logs); math.Abs(got-want2) > 1e-12 {
+			t.Fatalf("%s: median baseline = %v, metrics.Median = %v", tc.name, got, want2)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"repro/internal/nn"
+	"repro/internal/sqllex"
+)
+
+// argmax returns the index of the largest value (0 for an empty
+// slice) — the single argmax shared by Model.PredictClass and the
+// evaluation pipeline.
+func argmax(p []float64) int {
+	best := 0
+	for c := range p {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// growFloats resizes *buf to length n, reusing capacity when possible.
+// Contents are unspecified; callers overwrite.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// bindNeuralPredict (re)builds the model's prediction closures around
+// its neural backend with fresh per-instance scratch: a fused
+// tokenize+encode sqllex.Encoder and a softmax output buffer. The warm
+// predict path therefore allocates nothing; the closures are not safe
+// for concurrent use (see Replicate).
+func (m *Model) bindNeuralPredict() {
+	backend := m.neural
+	word := len(m.Name) > 0 && m.Name[0] == 'w'
+	enc := sqllex.NewEncoder(backend.vocab, word, m.maxLen)
+	if m.Task.IsClassification() {
+		var probs []float64
+		m.probs = func(stmt string) []float64 {
+			out, _ := backend.model.Forward(enc.Encode(stmt), false, nil)
+			return nn.SoftmaxInto(out, growFloats(&probs, len(out)))
+		}
+		return
+	}
+	m.value = func(stmt string) float64 {
+		out, _ := backend.model.Forward(enc.Encode(stmt), false, nil)
+		return out[0]
+	}
+}
+
+// Replicate returns a predictor that shares m's trained weights but
+// owns private inference scratch, so distinct replicas can predict
+// concurrently (the foundation of serve.Predictor's replica pool).
+//
+// Neural models are cloned through nn.ParallelModel.CloneShared — the
+// same shared-weight mechanism data-parallel training uses — plus a
+// fresh per-replica encoder and softmax buffer. Baseline and TF-IDF
+// models predict by reading immutable fitted state only, so Replicate
+// returns the receiver itself.
+//
+// Replicas alias the original weights: mutating them (FineTune) while
+// replicas serve is a data race.
+func (m *Model) Replicate() *Model {
+	if m.neural.model == nil {
+		return m
+	}
+	pm, ok := m.neural.model.(nn.ParallelModel)
+	if !ok {
+		return m
+	}
+	replica := pm.CloneShared()
+	// Inference never calls Backward, so drop the gradient shadows
+	// CloneShared allocated for the training use case — they would
+	// otherwise double every serving replica's parameter memory.
+	for _, param := range replica.Params() {
+		param.G = nil
+	}
+	r := &Model{
+		Name: m.Name, Task: m.Task, V: m.V, P: m.P, LogMin: m.LogMin,
+		neural: nnBackend{model: replica, vocab: m.neural.vocab},
+		maxLen: m.maxLen, rngSeed: m.rngSeed,
+	}
+	r.bindNeuralPredict()
+	return r
+}

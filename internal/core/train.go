@@ -4,12 +4,12 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/sqllex"
 	"repro/internal/workload"
+	"repro/internal/workpool"
 )
 
 // trainNeural fits one of the four neural models (ccnn, wcnn, clstm,
@@ -68,27 +68,15 @@ func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Mo
 		maxLen: maxLen, rngSeed: cfg.Seed,
 	}
 
-	// Evaluation-path encoding reuses one buffer per model; prediction
-	// closures are therefore not safe for concurrent use (matching the
-	// scratch-reuse contract of nn.Model).
-	var encBuf []int
-	encode := func(stmt string) []int {
-		encBuf = vocab.EncodeInto(Tokenize(name, stmt), maxLen, encBuf)
-		return encBuf
-	}
-
 	trainer := NewTrainer(cfg)
 	if task.IsClassification() {
 		labels, _ := task.Labels(train)
-		trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+		trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, sc *stepScratch, wrng *rand.Rand, i int) {
 			out, cache := mm.Forward(encoded[i], true, wrng)
-			_, _, dlogits := nn.SoftmaxCE(out, labels[i])
-			mm.Backward(encoded[i], cache, dlogits)
+			nn.SoftmaxCEInto(out, labels[i], growFloats(&sc.dlogits, len(out)))
+			mm.Backward(encoded[i], cache, sc.dlogits)
 		})
-		m.probs = func(stmt string) []float64 {
-			out, _ := model.Forward(encode(stmt), false, nil)
-			return nn.Softmax(out)
-		}
+		m.bindNeuralPredict()
 		return m, nil
 	}
 
@@ -96,18 +84,24 @@ func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Mo
 	logs, min := metrics.LogTransform(raw)
 	m.LogMin = min
 	warmStartBias(model, meanOf(logs))
-	trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+	trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, sc *stepScratch, wrng *rand.Rand, i int) {
 		out, cache := mm.Forward(encoded[i], true, wrng)
 		_, dpred := nn.HuberLoss(out[0], logs[i], 1)
-		var dout [1]float64
-		dout[0] = dpred
-		mm.Backward(encoded[i], cache, dout[:])
+		sc.dout[0] = dpred
+		mm.Backward(encoded[i], cache, sc.dout[:])
 	})
-	m.value = func(stmt string) float64 {
-		out, _ := model.Forward(encode(stmt), false, nil)
-		return out[0]
-	}
+	m.bindNeuralPredict()
 	return m, nil
+}
+
+// stepScratch is per-worker training scratch — the logit-gradient
+// buffer of SoftmaxCEInto and the single-output gradient of the
+// regression head — so the per-step loss computation allocates
+// nothing (a ROADMAP hot-spot: SoftmaxCE used to allocate two slices
+// per training step).
+type stepScratch struct {
+	dlogits []float64
+	dout    [1]float64
 }
 
 // Trainer is the data-parallel mini-batch training engine. Each
@@ -175,7 +169,10 @@ type trainWorker struct {
 // run executes the epoch/batch/optimizer skeleton. newWorker(w) builds
 // worker w's replica-bound step function; it is called once per worker
 // up front. rng drives the epoch shuffles (and, for the sequential
-// path, dropout — preserving the legacy RNG stream exactly).
+// path, dropout — preserving the legacy RNG stream exactly). The
+// parallel path fans batches across a persistent workpool.Pool rather
+// than spawning goroutines per batch, so tiny models no longer pay
+// per-batch spawn overhead.
 func (t Trainer) run(n int, rng *rand.Rand, opt *nn.Optimizer, params []*nn.Param,
 	newWorker func(w int) trainWorker) {
 	order := make([]int, n)
@@ -200,37 +197,37 @@ func (t Trainer) run(n int, rng *rand.Rand, opt *nn.Optimizer, params []*nn.Para
 		}
 		return
 	}
-	pool := make([]trainWorker, workers)
+	state := make([]trainWorker, workers)
 	rngs := make([]*rand.Rand, workers)
-	for w := range pool {
-		pool[w] = newWorker(w)
+	for w := range state {
+		state[w] = newWorker(w)
 		rngs[w] = rand.New(rand.NewSource(0))
 	}
-	var wg sync.WaitGroup
-	for e := 0; e < t.Epochs; e++ {
+	pool := workpool.New(workers)
+	defer pool.Close()
+	// One job closure reused for every batch; the loop variables it
+	// captures are updated between Run barriers.
+	var e, start, end int
+	batchJob := func(w int) {
+		wr := state[w]
+		wrng := rngs[w]
+		for k := start + w; k < end; k += workers {
+			wrng.Seed(exampleSeed(t.Seed, e, k))
+			wr.step(wrng, order[k])
+		}
+	}
+	for e = 0; e < t.Epochs; e++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for start := 0; start < n; start += t.Batch {
-			end := start + t.Batch
+		for start = 0; start < n; start += t.Batch {
+			end = start + t.Batch
 			if end > n {
 				end = n
 			}
-			wg.Add(workers)
-			for w := 0; w < workers; w++ {
-				go func(w int) {
-					defer wg.Done()
-					wr := pool[w]
-					wrng := rngs[w]
-					for k := start + w; k < end; k += workers {
-						wrng.Seed(exampleSeed(t.Seed, e, k))
-						wr.step(wrng, order[k])
-					}
-				}(w)
-			}
-			wg.Wait()
+			pool.Run(batchJob)
 			// Reduce worker shards in worker order so the accumulation
 			// order is deterministic for a fixed worker count.
 			for w := 1; w < workers; w++ {
-				pool[w].grads.ReduceInto(params)
+				state[w].grads.ReduceInto(params)
 			}
 			scaleAndStep(opt, params, end-start)
 		}
@@ -239,20 +236,22 @@ func (t Trainer) run(n int, rng *rand.Rand, opt *nn.Optimizer, params []*nn.Para
 
 // trainModel runs the engine over a model implementing the generic
 // Forward/Backward interface. step must run forward+backward for
-// example i on the given replica with the given dropout RNG.
+// example i on the given replica with the given dropout RNG, using sc
+// for per-step loss scratch (one scratch per worker).
 func (t Trainer) trainModel(model nn.Model, opt *nn.Optimizer, params []*nn.Param,
-	n int, rng *rand.Rand, step func(m nn.Model, rng *rand.Rand, i int)) {
+	n int, rng *rand.Rand, step func(m nn.Model, sc *stepScratch, rng *rand.Rand, i int)) {
 	pm, parallel := model.(nn.ParallelModel)
 	if !parallel {
 		t.Workers = 1
 	}
 	t.run(n, rng, opt, params, func(w int) trainWorker {
+		sc := &stepScratch{}
 		if w == 0 {
-			return trainWorker{step: func(rng *rand.Rand, i int) { step(model, rng, i) }}
+			return trainWorker{step: func(rng *rand.Rand, i int) { step(model, sc, rng, i) }}
 		}
 		replica := pm.CloneShared()
 		return trainWorker{
-			step:  func(rng *rand.Rand, i int) { step(replica, rng, i) },
+			step:  func(rng *rand.Rand, i int) { step(replica, sc, rng, i) },
 			grads: nn.NewGradBuffer(replica.Params()),
 		}
 	})
@@ -303,21 +302,26 @@ type EvalClassification struct {
 	Pred     []int
 }
 
-// EvaluateClassifier computes classification metrics on test items.
+// EvaluateClassifier computes classification metrics on test items by
+// querying the model sequentially. Concurrent evaluation computes the
+// distributions through a serve.Predictor and assembles the same
+// result with ClassificationEval.
 func EvaluateClassifier(m *Model, task Task, test []workload.Item) EvalClassification {
-	truth, _ := task.Labels(test)
-	pred := make([]int, len(test))
 	probs := make([][]float64, len(test))
 	for i, item := range test {
-		p := m.Probs(item.Statement)
-		probs[i] = p
-		best := 0
-		for c := range p {
-			if p[c] > p[best] {
-				best = c
-			}
-		}
-		pred[i] = best
+		probs[i] = m.Probs(item.Statement)
+	}
+	return ClassificationEval(probs, task, test)
+}
+
+// ClassificationEval assembles classification metrics from per-item
+// class distributions, however they were computed. Predicted classes
+// use the same argmax as Model.PredictClass.
+func ClassificationEval(probs [][]float64, task Task, test []workload.Item) EvalClassification {
+	truth, _ := task.Labels(test)
+	pred := make([]int, len(probs))
+	for i, p := range probs {
+		pred[i] = argmax(p)
 	}
 	return EvalClassification{
 		Accuracy: metrics.Accuracy(pred, truth),
@@ -339,21 +343,33 @@ type EvalRegression struct {
 	RawTrue []float64
 }
 
-// EvaluateRegressor computes regression metrics on test items. Labels
-// are log-transformed with the model's training minimum so train and
-// test share the transform.
+// EvaluateRegressor computes regression metrics on test items by
+// querying the model sequentially. Labels are log-transformed with the
+// model's training minimum so train and test share the transform.
+// Concurrent evaluation computes the predictions through a
+// serve.Predictor and assembles the same result with RegressionEval.
 func EvaluateRegressor(m *Model, task Task, test []workload.Item) EvalRegression {
+	logPred := make([]float64, len(test))
+	for i, item := range test {
+		logPred[i] = m.PredictLog(item.Statement)
+	}
+	return RegressionEval(logPred, m.LogMin, task, test)
+}
+
+// RegressionEval assembles regression metrics from log-space
+// predictions, however they were computed. logMin is the predicting
+// model's training log-transform minimum.
+func RegressionEval(logPred []float64, logMin float64, task Task, test []workload.Item) EvalRegression {
 	_, raw := task.Labels(test)
 	ev := EvalRegression{
-		LogPred: make([]float64, len(test)),
+		LogPred: logPred,
 		LogTrue: make([]float64, len(test)),
 		RawPred: make([]float64, len(test)),
 		RawTrue: raw,
 	}
-	for i, item := range test {
-		ev.LogPred[i] = m.PredictLog(item.Statement)
-		ev.LogTrue[i] = logWithMin(raw[i], m.LogMin)
-		ev.RawPred[i] = metrics.InverseLogTransform(ev.LogPred[i], m.LogMin)
+	for i := range test {
+		ev.LogTrue[i] = logWithMin(raw[i], logMin)
+		ev.RawPred[i] = metrics.InverseLogTransform(logPred[i], logMin)
 	}
 	ev.Loss = metrics.HuberLossMean(ev.LogPred, ev.LogTrue, 1)
 	ev.MSE = metrics.MSE(ev.LogPred, ev.LogTrue)
@@ -362,21 +378,11 @@ func EvaluateRegressor(m *Model, task Task, test []workload.Item) EvalRegression
 
 // EvaluateOpt evaluates the opt baseline given per-item estimates.
 func EvaluateOpt(m OptModel, task Task, test []workload.Item, estimates []float64) EvalRegression {
-	_, raw := task.Labels(test)
-	ev := EvalRegression{
-		LogPred: make([]float64, len(test)),
-		LogTrue: make([]float64, len(test)),
-		RawPred: make([]float64, len(test)),
-		RawTrue: raw,
-	}
+	logPred := make([]float64, len(test))
 	for i := range test {
-		ev.LogPred[i] = m.PredictLog(estimates[i])
-		ev.LogTrue[i] = logWithMin(raw[i], m.LogMin)
-		ev.RawPred[i] = metrics.InverseLogTransform(ev.LogPred[i], m.LogMin)
+		logPred[i] = m.PredictLog(estimates[i])
 	}
-	ev.Loss = metrics.HuberLossMean(ev.LogPred, ev.LogTrue, 1)
-	ev.MSE = metrics.MSE(ev.LogPred, ev.LogTrue)
-	return ev
+	return RegressionEval(logPred, m.LogMin, task, test)
 }
 
 // logWithMin applies y' = ln(y + 1 - min), clamping below min (test

@@ -45,10 +45,10 @@ func FineTune(m *Model, train []workload.Item, cfg Config) (*Model, error) {
 
 	if m.Task.IsClassification() {
 		labels, _ := m.Task.Labels(train)
-		trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+		trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, sc *stepScratch, wrng *rand.Rand, i int) {
 			out, cache := mm.Forward(encoded[i], true, wrng)
-			_, _, dlogits := nn.SoftmaxCE(out, labels[i])
-			mm.Backward(encoded[i], cache, dlogits)
+			nn.SoftmaxCEInto(out, labels[i], growFloats(&sc.dlogits, len(out)))
+			mm.Backward(encoded[i], cache, sc.dlogits)
 		})
 		return m, nil
 	}
@@ -60,12 +60,11 @@ func FineTune(m *Model, train []workload.Item, cfg Config) (*Model, error) {
 	for i, v := range raw {
 		logs[i] = logWithMin(v, m.LogMin)
 	}
-	trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, wrng *rand.Rand, i int) {
+	trainer.trainModel(model, opt, params, len(encoded), rng, func(mm nn.Model, sc *stepScratch, wrng *rand.Rand, i int) {
 		out, cache := mm.Forward(encoded[i], true, wrng)
 		_, dpred := nn.HuberLoss(out[0], logs[i], 1)
-		var dout [1]float64
-		dout[0] = dpred
-		mm.Backward(encoded[i], cache, dout[:])
+		sc.dout[0] = dpred
+		mm.Backward(encoded[i], cache, sc.dout[:])
 	})
 	return m, nil
 }
@@ -128,10 +127,12 @@ type MultiTaskModel struct {
 
 	// Reusable scratch (one example in flight at a time per instance;
 	// parallel training gives each worker its own replica).
-	pooledBuf []float64
-	cachesBuf []*nn.ConvCache
-	dxsFlat   []float64
-	dxs       [][]float64
+	pooledBuf    []float64
+	cachesBuf    []*nn.ConvCache
+	dxsFlat      []float64
+	dxs          [][]float64
+	dE           []float64
+	doutA, doutC [1]float64
 }
 
 type vocabEncoder interface {
@@ -259,15 +260,18 @@ func (m *MultiTaskModel) encodeFeatures(ids []int, train bool, rng *rand.Rand) (
 func (m *MultiTaskModel) step(ids []int, errLabel int, ansLog, cpuLog float64, rng *rand.Rand) {
 	feat, _, caches, xs, mask := m.encodeFeatures(ids, true, rng)
 
-	_, _, dE := nn.SoftmaxCE(m.headE.Forward(feat), errLabel)
+	outE := m.headE.Forward(feat)
+	nn.SoftmaxCEInto(outE, errLabel, growFloats(&m.dE, len(outE)))
 	outA := m.headA.Forward(feat)
 	_, dA := nn.HuberLoss(outA[0], ansLog, 1)
 	outC := m.headC.Forward(feat)
 	_, dC := nn.HuberLoss(outC[0], cpuLog, 1)
 
-	dfeat := m.headE.Backward(feat, dE)
-	dfeatA := m.headA.Backward(feat, []float64{dA})
-	dfeatC := m.headC.Backward(feat, []float64{dC})
+	dfeat := m.headE.Backward(feat, m.dE)
+	m.doutA[0] = dA
+	dfeatA := m.headA.Backward(feat, m.doutA[:])
+	m.doutC[0] = dC
+	dfeatC := m.headC.Backward(feat, m.doutC[:])
 	for i := range dfeat {
 		dfeat[i] += dfeatA[i] + dfeatC[i]
 	}

@@ -53,6 +53,12 @@ type Scale struct {
 	// machines prefer one or the other. -1 selects
 	// min(GOMAXPROCS, batch size).
 	TrainWorkers int
+	// EvalWorkers is the serve.Predictor replica count the evaluation
+	// loops fan test statements across. 0 (the default) selects
+	// GOMAXPROCS; negative forces the sequential direct-model path.
+	// Pooled and sequential evaluation are bit-identical, so this only
+	// changes wall-clock time.
+	EvalWorkers int
 }
 
 // effectiveCfg resolves the per-model training config, applying the
@@ -103,13 +109,27 @@ type Env struct {
 	UserCatalogs map[string]*simdb.Catalog
 
 	mu     sync.Mutex
-	models map[modelKey]*core.Model
+	models map[modelKey]*modelEntry
+
+	// trainFn is the model trainer, replaceable by tests (e.g. with a
+	// blocking stub to exercise the single-flight cache); nil means
+	// core.Train.
+	trainFn func(name string, task core.Task, train []workload.Item, cfg core.Config) (*core.Model, error)
 }
 
 type modelKey struct {
 	name    string
 	task    core.Task
 	setting Setting
+}
+
+// modelEntry is the single-flight cache slot for one (name, task,
+// setting): the sync.Once guarantees the model trains exactly once
+// even when concurrent TrainAll goroutines miss the cache together.
+type modelEntry struct {
+	once sync.Once
+	m    *core.Model
+	err  error
 }
 
 // NewEnv generates the workloads for a scale.
@@ -127,7 +147,7 @@ func NewEnv(scale Scale) *Env {
 		SDSS:        sdssGen.Generate(),
 		SQLShare:    sqlGen.Generate(),
 		SDSSCatalog: sdssGen.Catalog(),
-		models:      map[modelKey]*core.Model{},
+		models:      map[modelKey]*modelEntry{},
 	}
 	env.UserCatalogs = sqlGen.Catalogs()
 	env.SDSSSplit = workload.RandomSplit(env.SDSS.Items, 0.1, 0.1, rand.New(rand.NewSource(scale.Seed+7)))
@@ -149,24 +169,29 @@ func (e *Env) SplitFor(s Setting) workload.Split {
 }
 
 // Model trains (or returns the cached) named model for a task in a
-// setting.
+// setting. Concurrent callers that miss the cache together train the
+// model exactly once: the per-key entry is installed under the mutex
+// and its sync.Once serializes the training, so no (name, task,
+// setting) is ever trained twice or raced into the cache. Training
+// errors are cached too (they are deterministic configuration errors).
 func (e *Env) Model(name string, task core.Task, setting Setting) (*core.Model, error) {
 	key := modelKey{name, task, setting}
 	e.mu.Lock()
-	if m, ok := e.models[key]; ok {
-		e.mu.Unlock()
-		return m, nil
+	ent, ok := e.models[key]
+	if !ok {
+		ent = &modelEntry{}
+		e.models[key] = ent
 	}
 	e.mu.Unlock()
-	split := e.SplitFor(setting)
-	m, err := core.Train(name, task, split.Train, e.Scale.Cfg)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.models[key] = m
-	e.mu.Unlock()
-	return m, nil
+	ent.once.Do(func() {
+		train := e.trainFn
+		if train == nil {
+			train = core.Train
+		}
+		split := e.SplitFor(setting)
+		ent.m, ent.err = train(name, task, split.Train, e.Scale.Cfg)
+	})
+	return ent.m, ent.err
 }
 
 // TrainAll trains the named models for a task/setting concurrently and

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestModelSingleFlight reproduces the old Env.Model check-then-act
+// race with a blocking trainer stub: many goroutines miss the cache
+// together and must still train each (name, task, setting) exactly
+// once and observe the same *core.Model. Run under -race in CI.
+func TestModelSingleFlight(t *testing.T) {
+	env := NewEnv(Scale{
+		SDSSSessions: 60, SQLShareUsers: 2, SQLShareQueriesPerUser: 4,
+		Cfg: core.TinyConfig(), Seed: 1,
+	})
+
+	var trainings atomic.Int64
+	gate := make(chan struct{})
+	env.trainFn = func(name string, task core.Task, train []workload.Item, cfg core.Config) (*core.Model, error) {
+		trainings.Add(1)
+		<-gate // park every in-flight training until all goroutines race the cache
+		return core.Train("mfreq", core.ErrorClassification, train, cfg)
+	}
+
+	const goroutines = 8
+	models := make([]*core.Model, goroutines)
+	errs := make([]error, goroutines)
+	var started, wg sync.WaitGroup
+	started.Add(goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			started.Done()
+			models[g], errs[g] = env.Model("ccnn", core.ErrorClassification, HomoInstance)
+		}(g)
+	}
+	started.Wait() // every goroutine is past the cache check or parked in Do
+	close(gate)
+	wg.Wait()
+
+	if got := trainings.Load(); got != 1 {
+		t.Fatalf("model trained %d times, want exactly 1", got)
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if models[g] != models[0] {
+			t.Fatalf("goroutine %d observed a different model instance", g)
+		}
+	}
+
+	// A second key trains independently, and a repeat hit stays cached.
+	env.trainFn = nil
+	m2, err := env.Model("mfreq", core.ErrorClassification, HomoInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2again, err := env.Model("mfreq", core.ErrorClassification, HomoInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m2again {
+		t.Fatal("cache returned a different instance on a repeat hit")
+	}
+	if m2 == models[0] {
+		t.Fatal("distinct keys must not share a cache slot")
+	}
+}
+
+// TestTrainAllConcurrentSameKey hammers TrainAll with overlapping
+// name sets so concurrent goroutines contend on the same keys.
+func TestTrainAllConcurrentSameKey(t *testing.T) {
+	env := NewEnv(Scale{
+		SDSSSessions: 60, SQLShareUsers: 2, SQLShareQueriesPerUser: 4,
+		Cfg: core.TinyConfig(), Seed: 1,
+	})
+	var trainings atomic.Int64
+	env.trainFn = func(name string, task core.Task, train []workload.Item, cfg core.Config) (*core.Model, error) {
+		trainings.Add(1)
+		return core.Train(name, task, train, cfg)
+	}
+	names := []string{"mfreq", "ctfidf"}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := env.TrainAll(names, core.ErrorClassification, HomoInstance); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := trainings.Load(); got != int64(len(names)) {
+		t.Fatalf("trained %d times, want %d (once per key)", got, len(names))
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// This file routes the harness's evaluation loops through the serving
+// layer: test statements are fanned across a serve.Predictor replica
+// pool instead of being fed to the model one at a time. Pooled
+// predictions are bit-identical to sequential Model calls, so every
+// table and figure is unchanged — only wall-clock time improves on
+// multi-core machines (and the serve path gets exercised by the whole
+// experiment suite, including under -race in CI).
+//
+// Each eval call builds and closes its own short-lived Predictor.
+// Construction is cheap relative to what it serves — weight-sharing
+// replica clones plus a goroutine pool, microseconds against the
+// seconds each cached model took to train — and caching predictors in
+// Env would park worker goroutines for the Env's whole lifetime (Env
+// has no Close hook).
+
+// evalWorkers resolves Scale.EvalWorkers (0 = GOMAXPROCS, negative =
+// sequential).
+func (e *Env) evalWorkers() int {
+	w := e.Scale.EvalWorkers
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// statements extracts the statement column of a test split.
+func statements(items []workload.Item) []string {
+	out := make([]string, len(items))
+	for i, item := range items {
+		out[i] = item.Statement
+	}
+	return out
+}
+
+// evalClassifier computes classification metrics for m on test,
+// fanning the predictions across a replica pool.
+func (e *Env) evalClassifier(m *core.Model, task core.Task, test []workload.Item) core.EvalClassification {
+	w := e.evalWorkers()
+	if w < 1 {
+		return core.EvaluateClassifier(m, task, test)
+	}
+	p := serve.NewPredictor(m, serve.Options{Replicas: w})
+	defer p.Close()
+	return core.ClassificationEval(p.ProbsBatch(statements(test)), task, test)
+}
+
+// evalRegressor computes regression metrics for m on test, fanning the
+// predictions across a replica pool.
+func (e *Env) evalRegressor(m *core.Model, task core.Task, test []workload.Item) core.EvalRegression {
+	w := e.evalWorkers()
+	if w < 1 {
+		return core.EvaluateRegressor(m, task, test)
+	}
+	p := serve.NewPredictor(m, serve.Options{Replicas: w})
+	defer p.Close()
+	return core.RegressionEval(p.PredictLogBatch(statements(test)), m.LogMin, task, test)
+}

@@ -209,7 +209,7 @@ func Figure12(env *Env, task core.Task) ([]Figure12Row, error) {
 	}
 	rows := make([]Figure12Row, 0, len(names))
 	for _, name := range names {
-		ev := core.EvaluateRegressor(models[name], task, test)
+		ev := env.evalRegressor(models[name], task, test)
 		row := Figure12Row{Model: name, Overall: ev.MSE, ByClass: make([]float64, workload.NumSessionClasses)}
 		counts := make([]int, workload.NumSessionClasses)
 		sums := make([]float64, workload.NumSessionClasses)
@@ -289,7 +289,7 @@ func Figure13(env *Env) (*Figure13Result, error) {
 	}
 	res := &Figure13Result{ByModel: map[string][3][]BinnedError{}}
 	for _, name := range names {
-		ev := core.EvaluateRegressor(models[name], core.AnswerSizePrediction, test)
+		ev := env.evalRegressor(models[name], core.AnswerSizePrediction, test)
 		sq := squaredErrors(ev)
 		var curves [3][]BinnedError
 		curves[0] = binByLog(sq, feats, func(f sqlparse.Features) float64 { return float64(f.NumChars) })
@@ -336,7 +336,7 @@ func Figure14(env *Env, setting Setting) (*Figure14Result, error) {
 		CharCurves: map[string][]BinnedError{},
 	}
 	for _, name := range names {
-		ev := core.EvaluateRegressor(models[name], core.CPUTimePrediction, test)
+		ev := env.evalRegressor(models[name], core.CPUTimePrediction, test)
 		sq := squaredErrors(ev)
 		res.MSEByModel[name] = ev.MSE
 		res.CharCurves[name] = binByLog(sq, feats, func(f sqlparse.Features) float64 { return float64(f.NumChars) })

@@ -35,8 +35,12 @@ type ClassStats struct {
 }
 
 // PerClassF computes per-class precision, recall, and F-measure
-// (Section 6.1): FC = 2*P*R/(P+R). Classes with no support and no
-// predictions are omitted unless listed in classes.
+// (Section 6.1): FC = 2*P*R/(P+R). The result always has one entry per
+// class in [0, numClasses), in class order; classes with no support
+// and no predictions are included with zero counts and zero
+// precision/recall/F1 (callers index the result by class id, so
+// nothing is ever omitted). Labels outside [0, numClasses) are
+// ignored.
 func PerClassF(pred, truth []int, numClasses int) []ClassStats {
 	stats := make([]ClassStats, numClasses)
 	for c := range stats {
@@ -203,6 +207,14 @@ func Percentile(values []float64, p float64) float64 {
 	return percentileSorted(sorted, p)
 }
 
+// Median returns the 50th percentile of values, interpolating the two
+// middle elements for even-length input. It is the single median
+// definition shared by Summarize, the core median baseline, and
+// Percentile(values, 50) — by construction they cannot disagree.
+func Median(values []float64) float64 {
+	return Percentile(values, 50)
+}
+
 // Summary holds the descriptive statistics reported in the paper's
 // distribution plots (Figures 3, 4, 6): mean, standard deviation, min,
 // max, mode, and median.
@@ -256,7 +268,7 @@ func Summarize(values []float64) Summary {
 		}
 	}
 	s.Mode = best
-	s.Median = Percentile(values, 50)
+	s.Median = Median(values)
 	return s
 }
 

@@ -173,6 +173,45 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+func TestMedianSharedDefinition(t *testing.T) {
+	// Even length interpolates the two middle values; odd length takes
+	// the middle element; both must equal Percentile(values, 50).
+	for _, vals := range [][]float64{
+		{1, 2, 3, 4},
+		{3, 1, 2},
+		{5},
+		{2, 4},
+	} {
+		if got, want := Median(vals), Percentile(vals, 50); !almost(got, want) {
+			t.Fatalf("Median(%v) = %v, Percentile 50 = %v", vals, got, want)
+		}
+	}
+	if got := Median([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Fatalf("even-length median = %v, want 2.5", got)
+	}
+}
+
+// TestPerClassFIncludesEmptyClasses pins the documented contract: one
+// entry per class in order, zero-valued for classes with no support
+// and no predictions.
+func TestPerClassFIncludesEmptyClasses(t *testing.T) {
+	stats := PerClassF([]int{0, 0}, []int{0, 1}, 4)
+	if len(stats) != 4 {
+		t.Fatalf("len = %d, want 4", len(stats))
+	}
+	for c, s := range stats {
+		if s.Class != c {
+			t.Fatalf("stats[%d].Class = %d", c, s.Class)
+		}
+	}
+	if stats[2].Support != 0 || stats[2].Predicted != 0 || stats[2].F1 != 0 {
+		t.Fatalf("empty class stats = %+v, want zeros", stats[2])
+	}
+	if stats[0].Precision != 0.5 || stats[0].Recall != 1 {
+		t.Fatalf("class 0 = %+v", stats[0])
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 2, 3})
 	if s.N != 4 || !almost(s.Mean, 2) || !almost(s.Min, 1) || !almost(s.Max, 3) {

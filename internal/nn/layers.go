@@ -170,29 +170,50 @@ func (dr *Dropout) Backward(dy, mask []float64) []float64 {
 	return dx
 }
 
-// Softmax returns the softmax distribution of logits (numerically
-// stable).
-func Softmax(logits []float64) []float64 {
+// SoftmaxInto writes the softmax distribution of logits into dst
+// (which must have len(logits) elements) and returns dst. It is the
+// allocation-free base of Softmax, for hot paths that own scratch.
+func SoftmaxInto(logits, dst []float64) []float64 {
 	maxL := logits[0]
 	for _, v := range logits {
 		if v > maxL {
 			maxL = v
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, v := range logits {
-		out[i] = math.Exp(v - maxL)
-		sum += out[i]
+		dst[i] = math.Exp(v - maxL)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
+}
+
+// Softmax returns the softmax distribution of logits (numerically
+// stable) in a freshly allocated slice.
+func Softmax(logits []float64) []float64 {
+	return SoftmaxInto(logits, make([]float64, len(logits)))
+}
+
+// SoftmaxCEInto computes the cross-entropy loss for the true label and
+// writes the logit gradient (probs - onehot) into dlogits, which must
+// have len(logits) elements. It allocates nothing: training loops pass
+// per-worker scratch.
+func SoftmaxCEInto(logits []float64, label int, dlogits []float64) (loss float64) {
+	SoftmaxInto(logits, dlogits)
+	p := dlogits[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	dlogits[label] -= 1
+	return -math.Log(p)
 }
 
 // SoftmaxCE computes cross-entropy loss for the true label and the
-// gradient with respect to the logits (probs - onehot).
+// gradient with respect to the logits (probs - onehot), allocating the
+// returned slices. Hot paths should prefer SoftmaxCEInto.
 func SoftmaxCE(logits []float64, label int) (loss float64, probs, dlogits []float64) {
 	probs = Softmax(logits)
 	p := probs[label]

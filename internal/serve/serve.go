@@ -1,0 +1,351 @@
+// Package serve turns a trained core.Model into a concurrent, batched
+// prediction service.
+//
+// The paper predicts SQL query properties *before execution* precisely
+// so the predictions can sit in the interactive path of a database
+// frontend — which means one trained model must answer many users'
+// requests at once. A core.Model is not safe for concurrent use (its
+// predict path reuses internal scratch, the allocation-free contract
+// of internal/nn), so a Predictor wraps it with a pool of shared-
+// weight inference replicas (core.Model.Replicate, built on the same
+// nn.ParallelModel.CloneShared mechanism as data-parallel training):
+// requests flow through a bounded queue to persistent worker
+// goroutines, each owning one replica, with an optional micro-batching
+// window so bursts amortize dispatch overhead.
+//
+// Because replicas share weights and the forward math is identical,
+// pooled predictions are bit-identical to direct sequential Model
+// calls; the warm single-prediction path performs zero allocations for
+// the neural models.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workpool"
+)
+
+// Options configures a Predictor.
+type Options struct {
+	// Replicas is the number of worker goroutines, each owning one
+	// shared-weight model replica. <= 0 selects GOMAXPROCS.
+	Replicas int
+	// QueueSize bounds the request queue; senders block (backpressure)
+	// when it is full. <= 0 selects max(4*Replicas, 2*MaxBatch).
+	QueueSize int
+	// BatchWindow is how long a worker holding a non-full batch waits
+	// for more requests before running it. 0 disables waiting: workers
+	// still drain whatever is already queued (opportunistic batching)
+	// but never sit on a request.
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests one worker drains per batch.
+	// <= 0 selects 32.
+	MaxBatch int
+}
+
+// withDefaults resolves unset options.
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4 * o.Replicas
+		if o.QueueSize < 2*o.MaxBatch {
+			o.QueueSize = 2 * o.MaxBatch
+		}
+	}
+	return o
+}
+
+// reqKind selects which prediction a request carries.
+type reqKind uint8
+
+const (
+	probsKind reqKind = iota
+	classKind
+	logKind
+)
+
+// request is one queued prediction. Requests are pooled and their done
+// channel (buffered, capacity 1) is reused, so the warm request path
+// allocates nothing.
+type request struct {
+	kind reqKind
+	stmt string
+	dst  []float64 // caller-provided output buffer (probsKind)
+	out  []float64
+	cls  int
+	val  float64
+	enq  time.Time
+	done chan struct{}
+}
+
+// Predictor serves predictions from a pool of shared-weight replicas
+// of one trained model. Its methods mirror core.Model's prediction API
+// and are safe for concurrent use; results are bit-identical to
+// sequential calls on the wrapped model. Calling prediction methods
+// after Close panics.
+type Predictor struct {
+	model *core.Model
+	opts  Options
+
+	queue    chan *request
+	pool     *workpool.Pool
+	replicas []*core.Model
+	reqPool  sync.Pool
+
+	mu          sync.RWMutex // guards closed against in-flight sends
+	closed      bool
+	workersDone chan struct{}
+
+	start time.Time
+	stats statsState
+}
+
+// NewPredictor builds and starts a predictor for a trained model. The
+// caller should Close it to release the worker goroutines, and must
+// not mutate the model (e.g. core.FineTune) while the predictor is
+// live — replicas alias its weights.
+func NewPredictor(m *core.Model, opts Options) *Predictor {
+	opts = opts.withDefaults()
+	p := &Predictor{
+		model:       m,
+		opts:        opts,
+		queue:       make(chan *request, opts.QueueSize),
+		replicas:    make([]*core.Model, opts.Replicas),
+		workersDone: make(chan struct{}),
+		start:       time.Now(),
+	}
+	for i := range p.replicas {
+		p.replicas[i] = m.Replicate()
+	}
+	p.stats.lat = make([]latRing, opts.Replicas)
+	p.reqPool.New = func() any {
+		return &request{done: make(chan struct{}, 1)}
+	}
+	p.pool = workpool.New(opts.Replicas)
+	go func() {
+		// Workers park in their request loops until Close; the pool's
+		// broadcast Run doubles as the "all workers exited" barrier.
+		p.pool.Run(p.worker)
+		p.pool.Close()
+		close(p.workersDone)
+	}()
+	return p
+}
+
+// Model returns the wrapped model.
+func (p *Predictor) Model() *core.Model { return p.model }
+
+// Close drains in-flight requests, stops the workers, and releases the
+// pool. It is idempotent; prediction calls after Close panic.
+func (p *Predictor) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	<-p.workersDone
+}
+
+// Probs returns the class distribution for a statement in a freshly
+// allocated slice (nil for regression models).
+func (p *Predictor) Probs(stmt string) []float64 {
+	return p.ProbsInto(stmt, nil)
+}
+
+// ProbsInto writes the class distribution for a statement into dst
+// (grown only when capacity is insufficient) and returns the written
+// slice. With a capacity-sufficient dst the warm path performs zero
+// allocations.
+func (p *Predictor) ProbsInto(stmt string, dst []float64) []float64 {
+	r := p.enqueue(probsKind, stmt, dst)
+	<-r.done
+	out := r.out
+	p.release(r)
+	return out
+}
+
+// PredictClass returns the argmax class for a statement.
+func (p *Predictor) PredictClass(stmt string) int {
+	r := p.enqueue(classKind, stmt, nil)
+	<-r.done
+	cls := r.cls
+	p.release(r)
+	return cls
+}
+
+// PredictLog returns the log-space regression prediction.
+func (p *Predictor) PredictLog(stmt string) float64 {
+	r := p.enqueue(logKind, stmt, nil)
+	<-r.done
+	val := r.val
+	p.release(r)
+	return val
+}
+
+// PredictRaw returns the regression prediction in the label's original
+// units, inverting the paper's log transform.
+func (p *Predictor) PredictRaw(stmt string) float64 {
+	return metrics.InverseLogTransform(p.PredictLog(stmt), p.model.LogMin)
+}
+
+// ProbsBatch computes the class distribution for every statement,
+// fanning the work across the replica pool, and returns one freshly
+// allocated distribution per statement, in input order.
+func (p *Predictor) ProbsBatch(stmts []string) [][]float64 {
+	out := make([][]float64, len(stmts))
+	reqs := make([]*request, len(stmts))
+	for i, s := range stmts {
+		reqs[i] = p.enqueue(probsKind, s, nil)
+	}
+	for i, r := range reqs {
+		<-r.done
+		out[i] = r.out
+		p.release(r)
+	}
+	return out
+}
+
+// PredictLogBatch computes the log-space regression prediction for
+// every statement across the replica pool, in input order.
+func (p *Predictor) PredictLogBatch(stmts []string) []float64 {
+	out := make([]float64, len(stmts))
+	reqs := make([]*request, len(stmts))
+	for i, s := range stmts {
+		reqs[i] = p.enqueue(logKind, s, nil)
+	}
+	for i, r := range reqs {
+		<-r.done
+		out[i] = r.val
+		p.release(r)
+	}
+	return out
+}
+
+// enqueue submits a request to the worker pool, blocking when the
+// queue is full (backpressure).
+func (p *Predictor) enqueue(kind reqKind, stmt string, dst []float64) *request {
+	r := p.reqPool.Get().(*request)
+	r.kind, r.stmt, r.dst = kind, stmt, dst
+	r.out = nil
+	r.enq = time.Now()
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		panic("serve: Predictor used after Close")
+	}
+	p.queue <- r
+	p.mu.RUnlock()
+	return r
+}
+
+// release returns a completed request to the pool.
+func (p *Predictor) release(r *request) {
+	r.stmt = ""
+	r.dst, r.out = nil, nil
+	p.reqPool.Put(r)
+}
+
+// worker is one replica loop: take a request, gather a micro-batch,
+// run it, repeat until the queue closes.
+func (p *Predictor) worker(w int) {
+	rep := p.replicas[w]
+	ring := &p.stats.lat[w]
+	batch := make([]*request, 0, p.opts.MaxBatch)
+	var timer *time.Timer
+	for {
+		r, ok := <-p.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], r)
+		batch = p.gather(batch, &timer)
+		// Count the batch before signaling any completion so Stats
+		// taken right after a request finishes never sees Batches (or
+		// Completed, counted in process) lagging the work done.
+		p.stats.batches.Add(1)
+		for _, r := range batch {
+			p.process(rep, ring, r)
+		}
+	}
+}
+
+// gather fills the batch up to MaxBatch: first by draining whatever is
+// already queued, then — when a BatchWindow is configured — by waiting
+// up to the window for more. The per-worker timer is reused across
+// batches so the warm path allocates nothing.
+func (p *Predictor) gather(batch []*request, timer **time.Timer) []*request {
+	for len(batch) < p.opts.MaxBatch {
+		select {
+		case r, ok := <-p.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if p.opts.BatchWindow <= 0 || len(batch) >= p.opts.MaxBatch {
+		return batch
+	}
+	t := *timer
+	if t == nil {
+		t = time.NewTimer(p.opts.BatchWindow)
+		*timer = t
+	} else {
+		t.Reset(p.opts.BatchWindow)
+	}
+	for len(batch) < p.opts.MaxBatch {
+		select {
+		case r, ok := <-p.queue:
+			if !ok {
+				stopTimer(t)
+				return batch
+			}
+			batch = append(batch, r)
+		case <-t.C:
+			return batch
+		}
+	}
+	stopTimer(t)
+	return batch
+}
+
+// stopTimer stops t and drains its channel so the next Reset starts
+// clean.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// process runs one request on a replica and signals completion. All
+// accounting happens before the done signal: a caller that observed
+// its request finish must find it reflected in Stats.
+func (p *Predictor) process(rep *core.Model, ring *latRing, r *request) {
+	switch r.kind {
+	case probsKind:
+		r.out = rep.ProbsInto(r.stmt, r.dst)
+	case classKind:
+		r.cls = rep.PredictClass(r.stmt)
+	default:
+		r.val = rep.PredictLog(r.stmt)
+	}
+	ring.record(time.Since(r.enq))
+	p.stats.completed.Add(1)
+	r.done <- struct{}{}
+}

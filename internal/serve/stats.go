@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRingSize is the number of latency samples each worker retains
+// for the percentile estimates (a fixed ring, so recording is O(1)
+// and allocation-free).
+const latRingSize = 1024
+
+// statsState is the predictor's observability state: atomic counters
+// plus one latency sample ring per worker, so hot-path recording
+// never contends across replicas.
+type statsState struct {
+	completed atomic.Uint64
+	batches   atomic.Uint64
+
+	lat []latRing // one per worker
+}
+
+// latRing is one worker's latency samples. The mutex is effectively
+// uncontended (only the owning worker records; Stats readers snapshot
+// rarely).
+type latRing struct {
+	mu  sync.Mutex
+	buf [latRingSize]int64 // nanoseconds
+	n   uint64             // total samples ever recorded
+}
+
+func (l *latRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latRingSize] = int64(d)
+	l.n++
+	l.mu.Unlock()
+}
+
+// snapshotInto appends the ring's retained samples to dst.
+func (l *latRing) snapshotInto(dst []int64) []int64 {
+	l.mu.Lock()
+	m := l.n
+	if m > latRingSize {
+		m = latRingSize
+	}
+	dst = append(dst, l.buf[:m]...)
+	l.mu.Unlock()
+	return dst
+}
+
+// percentiles returns the p50 and p99 of the retained latency samples
+// (nearest-rank over the merged per-worker ring snapshots).
+func (s *statsState) percentiles() (p50, p99 time.Duration) {
+	var samples []int64
+	for w := range s.lat {
+		samples = s.lat[w].snapshotInto(samples)
+	}
+	m := len(samples)
+	if m == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p50 = time.Duration(samples[(m-1)*50/100])
+	p99 = time.Duration(samples[(m-1)*99/100])
+	return p50, p99
+}
+
+// Stats is a point-in-time snapshot of a Predictor's service metrics.
+type Stats struct {
+	// Completed is the number of finished predictions.
+	Completed uint64
+	// Batches is the number of micro-batches run; MeanBatch is
+	// Completed/Batches.
+	Batches   uint64
+	MeanBatch float64
+	// QueueDepth is the number of requests currently waiting.
+	QueueDepth int
+	// Uptime is the time since NewPredictor; Throughput is
+	// Completed/Uptime in predictions per second.
+	Uptime     time.Duration
+	Throughput float64
+	// P50 and P99 are request latencies (enqueue to completion) over
+	// the most recent samples.
+	P50, P99 time.Duration
+}
+
+// Stats snapshots the predictor's service metrics. Safe to call
+// concurrently with predictions and after Close.
+func (p *Predictor) Stats() Stats {
+	s := Stats{
+		Completed:  p.stats.completed.Load(),
+		Batches:    p.stats.batches.Load(),
+		QueueDepth: len(p.queue),
+		Uptime:     time.Since(p.start),
+	}
+	if s.Uptime > 0 {
+		s.Throughput = float64(s.Completed) / s.Uptime.Seconds()
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Completed) / float64(s.Batches)
+	}
+	s.P50, s.P99 = p.stats.percentiles()
+	return s
+}
+
+// String renders the snapshot for logs and load drivers.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f uptime=%s",
+		s.Completed, s.Throughput, s.P50, s.P99, s.QueueDepth, s.Batches, s.MeanBatch,
+		s.Uptime.Round(time.Millisecond))
+}

@@ -23,23 +23,44 @@ const DigitToken = "<DIGIT>"
 // out-of-vocabulary tokens.
 const UnknownToken = "<UNK>"
 
+// asciiTokens interns the single-character token strings of the ASCII
+// range, so character-level tokenization and single-character operator
+// tokens do not allocate a fresh string per token.
+var asciiTokens = func() [128]string {
+	var t [128]string
+	for i := range t {
+		t[i] = string(rune(i))
+	}
+	return t
+}()
+
+// charToken returns the canonical (interned for ASCII) single-character
+// token string for r.
+func charToken(r rune) string {
+	if r >= 0 && r < 128 {
+		return asciiTokens[r]
+	}
+	return string(r)
+}
+
 // Chars splits a query into character-level tokens. Whitespace runs are
 // collapsed and dropped, matching the paper's character counting
 // convention ("48 tokens at the character level (excluding spaces)").
+// Token strings are interned for the ASCII range.
 func Chars(query string) []string {
 	tokens := make([]string, 0, len(query))
 	for _, r := range query {
 		if unicode.IsSpace(r) {
 			continue
 		}
-		tokens = append(tokens, string(r))
+		tokens = append(tokens, charToken(r))
 	}
 	return tokens
 }
 
 // CharsWithSpace splits a query into character tokens keeping a single
 // space token between non-space runs. CNN models benefit from the word
-// boundary signal.
+// boundary signal. Token strings are interned for the ASCII range.
 func CharsWithSpace(query string) []string {
 	tokens := make([]string, 0, len(query))
 	pendingSpace := false
@@ -49,21 +70,26 @@ func CharsWithSpace(query string) []string {
 			continue
 		}
 		if pendingSpace {
-			tokens = append(tokens, " ")
+			tokens = append(tokens, asciiTokens[' '])
 			pendingSpace = false
 		}
-		tokens = append(tokens, string(r))
+		tokens = append(tokens, charToken(r))
 	}
 	return tokens
 }
 
-// runesPool recycles the rune buffer the word tokenizer decodes each
-// query into, so repeated tokenization (workload generation, feature
-// extraction, vocabulary building) stops re-allocating it per query.
-var runesPool = sync.Pool{
+// wordScratch is the reusable state of one word-tokenizer run: the
+// decoded rune buffer plus the normalized-literal scratch.
+type wordScratch struct {
+	runes, lit []rune
+}
+
+// wordScratchPool recycles tokenizer scratch so repeated tokenization
+// (workload generation, feature extraction, vocabulary building) stops
+// re-allocating it per query.
+var wordScratchPool = sync.Pool{
 	New: func() any {
-		buf := make([]rune, 0, 256)
-		return &buf
+		return &wordScratch{runes: make([]rune, 0, 256)}
 	},
 }
 
@@ -73,18 +99,38 @@ var runesPool = sync.Pool{
 // are kept as single tokens (their content is usually a constant and is
 // digit-normalized as well).
 func Words(query string) []string {
-	rp := runesPool.Get().(*[]rune)
-	runes := (*rp)[:0]
+	ws := wordScratchPool.Get().(*wordScratch)
+	runes := ws.runes[:0]
 	for _, r := range query {
 		runes = append(runes, r)
 	}
 	defer func() {
-		*rp = runes
-		runesPool.Put(rp)
+		ws.runes = runes
+		wordScratchPool.Put(ws)
 	}()
 	// Word tokens run ~4 characters on average in SQL text; pre-size to
 	// avoid growth reallocations on typical statements.
 	tokens := make([]string, 0, len(runes)/4+4)
+	scanWords(runes, &ws.lit, func(tok []rune, s string) bool {
+		if tok != nil {
+			s = string(tok)
+		}
+		tokens = append(tokens, s)
+		return true
+	})
+	return tokens
+}
+
+// scanWords runs the word tokenizer over runes, invoking emit once per
+// token, in order. Each token arrives either as a rune slice (tok) or,
+// when it has a canonical interned form (DigitToken, operators,
+// single-character punctuation), as a string; exactly one of the two is
+// set. tok may alias runes or *lit and is only valid during the call.
+// lit is caller-owned scratch for normalized string literals. emit
+// returns false to stop the scan early (e.g. when an encoder hit its
+// length cap). Words and Encoder share this scanner so the string and
+// id pipelines can never drift apart.
+func scanWords(runes []rune, lit *[]rune, emit func(tok []rune, s string) bool) {
 	n := len(runes)
 	i := 0
 	for i < n {
@@ -97,7 +143,9 @@ func Words(query string) []string {
 			for j < n && isIdentPart(runes[j]) {
 				j++
 			}
-			tokens = append(tokens, string(runes[i:j]))
+			if !emit(runes[i:j], "") {
+				return
+			}
 			i = j
 		case unicode.IsDigit(r):
 			// Hex constants such as SDSS object ids (0x112d075f80360018).
@@ -106,7 +154,9 @@ func Words(query string) []string {
 				for j < n && isHexDigit(runes[j]) {
 					j++
 				}
-				tokens = append(tokens, DigitToken)
+				if !emit(nil, DigitToken) {
+					return
+				}
 				i = j
 				continue
 			}
@@ -116,7 +166,9 @@ func Words(query string) []string {
 				((runes[j] == '+' || runes[j] == '-') && j > i && (runes[j-1] == 'e' || runes[j-1] == 'E'))) {
 				j++
 			}
-			tokens = append(tokens, DigitToken)
+			if !emit(nil, DigitToken) {
+				return
+			}
 			i = j
 		case r == '\'':
 			j := i + 1
@@ -131,7 +183,9 @@ func Words(query string) []string {
 				}
 				j++
 			}
-			tokens = append(tokens, normalizeLiteral(string(runes[i:j])))
+			if !emit(normalizeLiteralRunes(runes[i:j], lit), "") {
+				return
+			}
 			i = j
 		case r == '"' || r == '[':
 			close := '"'
@@ -145,45 +199,88 @@ func Words(query string) []string {
 			if j < n {
 				j++
 			}
-			tokens = append(tokens, string(runes[i:j]))
+			if !emit(runes[i:j], "") {
+				return
+			}
 			i = j
 		default:
 			// Multi-character operators first.
 			if i+1 < n {
-				two := string(runes[i : i+2])
-				switch two {
-				case "<=", ">=", "<>", "!=", "||", "--", "/*", "*/":
-					tokens = append(tokens, two)
+				if op := twoCharOp(r, runes[i+1]); op != "" {
+					if !emit(nil, op) {
+						return
+					}
 					i += 2
 					continue
 				}
 			}
-			tokens = append(tokens, string(r))
+			if !emit(nil, charToken(r)) {
+				return
+			}
 			i++
 		}
 	}
-	return tokens
 }
 
-// normalizeLiteral replaces digits inside a quoted string literal with
-// DigitToken content markers so that constant-only variations of the
-// same template map to the same token sequence.
-func normalizeLiteral(lit string) string {
-	var b strings.Builder
-	b.Grow(len(lit))
+// twoCharOp returns the interned two-character operator starting with
+// (a, b), or "" when the pair is not an operator.
+func twoCharOp(a, b rune) string {
+	switch a {
+	case '<':
+		if b == '=' {
+			return "<="
+		}
+		if b == '>' {
+			return "<>"
+		}
+	case '>':
+		if b == '=' {
+			return ">="
+		}
+	case '!':
+		if b == '=' {
+			return "!="
+		}
+	case '|':
+		if b == '|' {
+			return "||"
+		}
+	case '-':
+		if b == '-' {
+			return "--"
+		}
+	case '/':
+		if b == '*' {
+			return "/*"
+		}
+	case '*':
+		if b == '/' {
+			return "*/"
+		}
+	}
+	return ""
+}
+
+// normalizeLiteralRunes replaces digit runs inside a quoted string
+// literal with a '#' marker so that constant-only variations of the
+// same template map to the same token, writing the result into *dst
+// (grown as needed) and returning it.
+func normalizeLiteralRunes(litRunes []rune, dst *[]rune) []rune {
+	out := (*dst)[:0]
 	inDigits := false
-	for _, r := range lit {
+	for _, r := range litRunes {
 		if unicode.IsDigit(r) {
 			if !inDigits {
-				b.WriteString("#")
+				out = append(out, '#')
 				inDigits = true
 			}
 			continue
 		}
 		inDigits = false
-		b.WriteRune(r)
+		out = append(out, r)
 	}
-	return b.String()
+	*dst = out
+	return out
 }
 
 func isIdentStart(r rune) bool {

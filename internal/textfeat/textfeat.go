@@ -139,6 +139,11 @@ type LogisticRegression struct {
 	B        []float64
 	gsqW     []float64
 	gsqB     []float64
+
+	// Training scratch: per-step logits and logit gradients, so Fit
+	// allocates nothing per example. Predict-path methods (Logits,
+	// Probs) stay allocation-per-call and therefore concurrency-safe.
+	logitsBuf, dlogitsBuf []float64
 }
 
 // NewLogisticRegression allocates a zero-initialized model.
@@ -156,7 +161,11 @@ func (m *LogisticRegression) ParamCount() int { return len(m.W) + len(m.B) }
 
 // Logits computes class scores for a sparse input.
 func (m *LogisticRegression) Logits(x SparseVec) []float64 {
-	out := make([]float64, m.Classes)
+	return m.logitsInto(x, make([]float64, m.Classes))
+}
+
+// logitsInto writes class scores into out (len m.Classes).
+func (m *LogisticRegression) logitsInto(x SparseVec, out []float64) []float64 {
 	for c := 0; c < m.Classes; c++ {
 		sum := m.B[c]
 		row := m.W[c*m.Features : (c+1)*m.Features]
@@ -205,7 +214,13 @@ func (m *LogisticRegression) Fit(xs []SparseVec, ys []int, epochs int, lr float6
 }
 
 func (m *LogisticRegression) step(x SparseVec, y int, lr float64) float64 {
-	loss, _, dlogits := softmaxCEAt(m.Logits(x), y)
+	if m.logitsBuf == nil {
+		m.logitsBuf = make([]float64, m.Classes)
+		m.dlogitsBuf = make([]float64, m.Classes)
+	}
+	logits := m.logitsInto(x, m.logitsBuf)
+	dlogits := m.dlogitsBuf
+	loss := nn.SoftmaxCEInto(logits, y, dlogits)
 	const eps = 1e-8
 	for c := 0; c < m.Classes; c++ {
 		g := dlogits[c]
@@ -223,10 +238,6 @@ func (m *LogisticRegression) step(x SparseVec, y int, lr float64) float64 {
 		}
 	}
 	return loss
-}
-
-func softmaxCEAt(logits []float64, label int) (float64, []float64, []float64) {
-	return nn.SoftmaxCE(logits, label)
 }
 
 // HuberRegression is a linear model over sparse features trained with

@@ -1,0 +1,68 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunVisitsEveryWorkerOnce checks the broadcast-barrier contract:
+// each Run call executes the job exactly once on every worker id.
+func TestRunVisitsEveryWorkerOnce(t *testing.T) {
+	const workers, rounds = 4, 50
+	p := New(workers)
+	defer p.Close()
+	for r := 0; r < rounds; r++ {
+		var visits [workers]int64
+		p.Run(func(w int) { atomic.AddInt64(&visits[w], 1) })
+		for w, n := range visits {
+			if n != 1 {
+				t.Fatalf("round %d: worker %d ran %d times, want 1", r, w, n)
+			}
+		}
+	}
+}
+
+// TestRunIsABarrier checks that Run does not return before every
+// worker's job has completed.
+func TestRunIsABarrier(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var done int64
+	for r := 0; r < 20; r++ {
+		p.Run(func(w int) {
+			for i := 0; i < 1000; i++ {
+				_ = i * i
+			}
+			atomic.AddInt64(&done, 1)
+		})
+		if got := atomic.LoadInt64(&done); got != int64(8*(r+1)) {
+			t.Fatalf("round %d: %d jobs done at barrier, want %d", r, got, 8*(r+1))
+		}
+	}
+}
+
+// TestMinimumOneWorker checks the n < 1 clamp.
+func TestMinimumOneWorker(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("Size() = %d, want 1", p.Size())
+	}
+	ran := false
+	p.Run(func(w int) { ran = w == 0 })
+	if !ran {
+		t.Fatal("job did not run on worker 0")
+	}
+}
+
+// TestCloseWaitsForWorkers checks Close returns only after workers
+// exit and leaves no goroutine processing further work.
+func TestCloseWaitsForWorkers(t *testing.T) {
+	p := New(3)
+	var total int64
+	p.Run(func(int) { atomic.AddInt64(&total, 1) })
+	p.Close()
+	if total != 3 {
+		t.Fatalf("jobs run = %d, want 3", total)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/sqlparse"
 	"repro/internal/synth"
 	"repro/internal/workload"
@@ -107,8 +108,28 @@ func SplitByUser(items []Item, seed int64) Split {
 	return workload.UserSplit(items, 0.1, 0.1, rand.New(rand.NewSource(seed)))
 }
 
+// Predictor is a concurrent, batched prediction service over a trained
+// Model: a pool of shared-weight inference replicas behind a bounded
+// request queue, returning results bit-identical to direct Model calls.
+type Predictor = serve.Predictor
+
+// ServeOptions configures NewPredictor (replica count, queue size,
+// micro-batching window).
+type ServeOptions = serve.Options
+
+// ServeStats is a point-in-time snapshot of a Predictor's service
+// metrics (throughput, p50/p99 latency, queue depth).
+type ServeStats = serve.Stats
+
+// NewPredictor wraps a trained model in a concurrent prediction
+// service. Close the predictor to release its workers.
+func NewPredictor(m *Model, opts ServeOptions) *Predictor {
+	return serve.NewPredictor(m, opts)
+}
+
 // FineTune continues training a neural model on a new workload (the
-// transfer-learning extension of Section 8).
+// transfer-learning extension of Section 8). Do not fine-tune a model
+// while a Predictor serves it — replicas alias its weights.
 func FineTune(m *Model, train []Item, cfg Config) (*Model, error) {
 	return core.FineTune(m, train, cfg)
 }
