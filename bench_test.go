@@ -9,10 +9,12 @@ package repro
 // numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -550,6 +552,35 @@ func BenchmarkServePredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.PredictClass(q)
+	}
+}
+
+// BenchmarkServePredictCtx measures the context-aware request path
+// (deadline checks + cancellation arbitration on top of the queue hop
+// and replica inference): the warm in-deadline path is 0 allocs/op,
+// same as the legacy path.
+func BenchmarkServePredictCtx(b *testing.B) {
+	env := getBenchEnv(b)
+	q := "SELECT p.objid, p.ra FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152"
+	m, err := env.Model("ccnn", core.ErrorClassification, experiments.HomoInstance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := serve.NewPredictor(m, serve.Options{Replicas: 1, Admission: serve.AdmitReject})
+	defer p.Close()
+	// One deadline reused across requests: the benchmark measures the
+	// serving path, not context construction.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if _, err := p.PredictClassCtx(ctx, q); err != nil { // warm the request pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictClassCtx(ctx, q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -2,21 +2,31 @@
 // on a synthetic workload, wraps it in a serve.Predictor, drives it
 // with concurrent clients replaying test-split statements for a fixed
 // duration, and prints the service metrics (throughput, p50/p99
-// latency, queue depth, micro-batch sizes).
+// latency, queue depth, micro-batch sizes, rejections, cancellations).
+//
+// SIGINT ends the run early and still flushes the final Stats() line.
+// With -deadline > 0 every request carries a context deadline through
+// the ctx-aware predict path; expired requests are counted rather than
+// served late.
 //
 // Examples:
 //
 //	servebench -model ccnn -task error -replicas 4 -clients 16 -duration 5s
 //	servebench -model clstm -task cpu -window 200us -max-batch 16
+//	servebench -model clstm -deadline 300us -admission reject
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -34,7 +44,31 @@ func main() {
 	maxBatch := flag.Int("max-batch", 32, "max requests per micro-batch")
 	queue := flag.Int("queue", 0, "request queue size (0 = default)")
 	sessions := flag.Int("sessions", 1400, "synthetic SDSS sessions for train/test data")
+	reqDeadline := flag.Duration("deadline", 0, "per-request deadline through the ctx predict path (0 = legacy blocking path)")
+	admission := flag.String("admission", "block", "full-queue policy for ctx requests: block or reject")
 	flag.Parse()
+
+	if *replicas <= 0 {
+		log.Fatalf("servebench: -replicas must be positive, got %d", *replicas)
+	}
+	if *clients <= 0 {
+		log.Fatalf("servebench: -clients must be positive, got %d", *clients)
+	}
+	if *maxBatch <= 0 {
+		log.Fatalf("servebench: -max-batch must be positive, got %d", *maxBatch)
+	}
+	if *duration <= 0 {
+		log.Fatalf("servebench: -duration must be positive, got %s", *duration)
+	}
+	var policy serve.AdmissionPolicy
+	switch *admission {
+	case "block":
+		policy = serve.AdmitBlock
+	case "reject":
+		policy = serve.AdmitReject
+	default:
+		log.Fatalf("servebench: unknown -admission %q (want block or reject)", *admission)
+	}
 
 	task, err := parseTask(*taskName)
 	if err != nil {
@@ -57,6 +91,7 @@ func main() {
 		QueueSize:   *queue,
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
+		Admission:   policy,
 	})
 	defer p.Close()
 
@@ -67,15 +102,38 @@ func main() {
 	fmt.Fprintf(os.Stderr, "serving with %d replicas, %d clients, %s window, for %s...\n",
 		*replicas, *clients, *window, *duration)
 
-	deadline := time.Now().Add(*duration)
+	// SIGINT ends the load early; the final Stats() line still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	var expired, rejected atomic.Uint64
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			classification := task.IsClassification()
-			for i := c; time.Now().Before(deadline); i++ {
+			for i := c; ctx.Err() == nil; i++ {
 				stmt := stmts[i%len(stmts)]
+				if *reqDeadline > 0 {
+					rctx, rcancel := context.WithTimeout(ctx, *reqDeadline)
+					var err error
+					if classification {
+						_, err = p.PredictClassCtx(rctx, stmt)
+					} else {
+						_, err = p.PredictLogCtx(rctx, stmt)
+					}
+					rcancel()
+					switch {
+					case errors.Is(err, context.DeadlineExceeded):
+						expired.Add(1)
+					case errors.Is(err, serve.ErrQueueFull):
+						rejected.Add(1)
+					}
+					continue
+				}
 				if classification {
 					p.PredictClass(stmt)
 				} else {
@@ -86,6 +144,9 @@ func main() {
 	}
 	wg.Wait()
 	fmt.Println(p.Stats())
+	if *reqDeadline > 0 {
+		fmt.Printf("deadline=%s expired=%d queue-rejected=%d\n", *reqDeadline, expired.Load(), rejected.Load())
+	}
 }
 
 func parseTask(s string) (core.Task, error) {

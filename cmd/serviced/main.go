@@ -1,0 +1,193 @@
+// Command serviced is the network front door for the prediction
+// service: it trains the requested models on a synthetic workload,
+// registers and deploys them in a service.Service (versioned registry,
+// hot-swappable replica pools), and serves the HTTP/JSON API:
+//
+//	POST /v1/predict  {"model","statement"|"statements",["deadline_ms"]}
+//	GET  /v1/models
+//	POST /v1/deploy   {"model",["version"]}
+//	GET  /v1/stats?model=NAME
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener stops
+// accepting, in-flight HTTP requests finish (bounded by -drain), and
+// every replica pool is drained and closed.
+//
+// Examples:
+//
+//	serviced -addr :8080 -models ccnn,wlstm -task error -replicas 4
+//	curl -s localhost:8080/v1/predict -d '{"model":"ccnn","statement":"SELECT 1","deadline_ms":50}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// config is the parsed flag set of one serviced invocation.
+type config struct {
+	addr      string
+	models    []string
+	task      core.Task
+	replicas  int
+	queue     int
+	maxBatch  int
+	window    time.Duration
+	admission serve.AdmissionPolicy
+	sessions  int
+	drain     time.Duration
+}
+
+// parseFlags validates the command line into a config.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("serviced", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	models := fs.String("models", "ccnn", "comma-separated models to train and deploy")
+	taskName := fs.String("task", "error", "task: error, session, cpu, answer, elapsed")
+	replicas := fs.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas per deployed model")
+	queue := fs.Int("queue", 0, "request queue size per model (0 = default)")
+	maxBatch := fs.Int("max-batch", 32, "max requests per micro-batch")
+	window := fs.Duration("window", 0, "micro-batch gather window")
+	admission := fs.String("admission", "reject", "full-queue policy: reject (429) or block")
+	sessions := fs.Int("sessions", 1400, "synthetic SDSS sessions for training data")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		addr: *addr, replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
+		window: *window, sessions: *sessions, drain: *drain,
+	}
+	if cfg.replicas <= 0 {
+		return config{}, fmt.Errorf("serviced: -replicas must be positive, got %d", cfg.replicas)
+	}
+	if cfg.sessions <= 0 {
+		return config{}, fmt.Errorf("serviced: -sessions must be positive, got %d", cfg.sessions)
+	}
+	for _, m := range strings.Split(*models, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			cfg.models = append(cfg.models, m)
+		}
+	}
+	if len(cfg.models) == 0 {
+		return config{}, errors.New("serviced: -models must name at least one model")
+	}
+	var err error
+	if cfg.task, err = parseTask(*taskName); err != nil {
+		return config{}, err
+	}
+	switch *admission {
+	case "reject":
+		cfg.admission = serve.AdmitReject
+	case "block":
+		cfg.admission = serve.AdmitBlock
+	default:
+		return config{}, fmt.Errorf("serviced: unknown -admission %q (want reject or block)", *admission)
+	}
+	return cfg, nil
+}
+
+func run(args []string, out *os.File) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	scale := experiments.SmallScale()
+	scale.SDSSSessions = cfg.sessions
+	env := experiments.NewEnv(scale)
+
+	svc := service.New(service.Options{Serve: serve.Options{
+		Replicas:    cfg.replicas,
+		QueueSize:   cfg.queue,
+		MaxBatch:    cfg.maxBatch,
+		BatchWindow: cfg.window,
+		Admission:   cfg.admission,
+	}})
+	defer svc.Close()
+
+	for _, name := range cfg.models {
+		fmt.Fprintf(out, "training %s for %s on %d statements...\n",
+			name, cfg.task, len(env.SDSSSplit.Train))
+		m, err := env.Model(name, cfg.task, experiments.HomoInstance)
+		if err != nil {
+			return err
+		}
+		info, err := svc.Swap(name, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deployed %s v%d (%d replicas)\n", info.Name, info.Version, cfg.replicas)
+	}
+
+	srv := &http.Server{Addr: cfg.addr, Handler: service.NewHandler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(out, "serving on %s\n", cfg.addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	// Flush final per-model service metrics before the pools go away.
+	for _, name := range cfg.models {
+		if st, info, err := svc.Stats(name); err == nil {
+			fmt.Fprintf(out, "%s v%d: %s\n", info.Name, info.LiveVersion, st)
+		}
+	}
+	svc.Close()
+	return <-errc
+}
+
+func parseTask(s string) (core.Task, error) {
+	switch s {
+	case "error":
+		return core.ErrorClassification, nil
+	case "session":
+		return core.SessionClassification, nil
+	case "cpu":
+		return core.CPUTimePrediction, nil
+	case "answer":
+		return core.AnswerSizePrediction, nil
+	case "elapsed":
+		return core.ElapsedTimePrediction, nil
+	default:
+		return 0, fmt.Errorf("unknown task %q (want error, session, cpu, answer, elapsed)", s)
+	}
+}

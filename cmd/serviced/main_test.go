@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// TestParseFlags covers validation: defaults, admission policies, and
+// the rejection of nonsensical values.
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-models", "ccnn, wlstm", "-task", "cpu",
+		"-replicas", "3", "-admission", "block", "-window", "200us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.models) != 2 || cfg.models[1] != "wlstm" {
+		t.Fatalf("models = %v", cfg.models)
+	}
+	if cfg.task != core.CPUTimePrediction || cfg.replicas != 3 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.admission != serve.AdmitBlock || cfg.window != 200*time.Microsecond {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+
+	for _, bad := range [][]string{
+		{"-replicas", "0"},
+		{"-replicas", "-2"},
+		{"-sessions", "0"},
+		{"-models", " , "},
+		{"-task", "nonsense"},
+		{"-admission", "maybe"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid flags", bad)
+		}
+	}
+}

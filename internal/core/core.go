@@ -176,6 +176,10 @@ type Model struct {
 	// V and P are the vocabulary size and parameter count reported in
 	// the paper's tables (0 for the trivial baselines).
 	V, P int
+	// Version is snapshot metadata assigned by a model registry
+	// (service.Service): 0 for a freshly trained model, otherwise the
+	// registry version of the immutable Snapshot this model is.
+	Version int
 
 	probs func(stmt string) []float64 // classification
 	value func(stmt string) float64   // regression, log-space
@@ -256,6 +260,27 @@ func Tokenize(modelName, stmt string) []string {
 		return sqllex.Words(stmt)
 	}
 	return sqllex.Chars(stmt)
+}
+
+// tokenizeAll tokenizes every item at the model's granularity, for
+// vocabulary building and featurization over a whole training set.
+// Word models run through one pooled, interning sqllex.WordTokenizer
+// for the pass, so repeated tokens share a single string instead of
+// allocating per occurrence (the last tokenization hot spot named in
+// ROADMAP); character tokens are already interned.
+func tokenizeAll(modelName string, items []workload.Item) [][]string {
+	seqs := make([][]string, len(items))
+	if len(modelName) > 0 && modelName[0] == 'w' {
+		wt := sqllex.NewWordTokenizer()
+		for i, item := range items {
+			seqs[i] = wt.Words(item.Statement)
+		}
+		return seqs
+	}
+	for i, item := range items {
+		seqs[i] = sqllex.Chars(item.Statement)
+	}
+	return seqs
 }
 
 // Train fits the named model for the task on the training items. The
@@ -362,10 +387,7 @@ func logScale(v float64) float64 {
 // trainTFIDF fits the traditional two-stage models.
 func trainTFIDF(name string, task Task, train []workload.Item, cfg Config) (*Model, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	seqs := make([][]string, len(train))
-	for i, item := range train {
-		seqs[i] = Tokenize(name, item.Statement)
-	}
+	seqs := tokenizeAll(name, train)
 	fz := textfeat.FitFeaturizer(seqs, cfg.NGramMax, cfg.MaxFeatures)
 	xs := fz.TransformAll(seqs)
 	m := &Model{Name: name, Task: task, V: fz.NumFeatures()}

@@ -23,11 +23,9 @@ func trainNeural(name string, task Task, train []workload.Item, cfg Config) (*Mo
 	if word {
 		maxLen = cfg.WordMaxLen
 	}
-	// Build the vocabulary from training tokens.
-	seqs := make([][]string, len(train))
-	for i, item := range train {
-		seqs[i] = Tokenize(name, item.Statement)
-	}
+	// Build the vocabulary from training tokens (pooled tokenizer: one
+	// interned string per distinct token across the whole corpus).
+	seqs := tokenizeAll(name, train)
 	vocabMax := 0 // characters: unbounded (small anyway)
 	if word {
 		vocabMax = cfg.WordVocabMax

@@ -155,10 +155,7 @@ func TrainMultiTask(train []workload.Item, cfg Config) (*MultiTaskModel, error) 
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	seqs := make([][]string, len(train))
-	for i, item := range train {
-		seqs[i] = Tokenize("ccnn", item.Statement)
-	}
+	seqs := tokenizeAll("ccnn", train)
 	vocab := buildVocab(seqs)
 	encoded := make([][]int, len(train))
 	for i, seq := range seqs {

@@ -20,13 +20,40 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/workpool"
+)
+
+// ErrClosed is returned by the context-aware prediction methods when
+// the Predictor has been closed. (The legacy blocking methods keep
+// their documented panic for backward compatibility.)
+var ErrClosed = errors.New("serve: predictor closed")
+
+// ErrQueueFull is returned under the AdmitReject admission policy when
+// the request queue is full at enqueue time.
+var ErrQueueFull = errors.New("serve: request queue full")
+
+// AdmissionPolicy selects what happens when a request arrives and the
+// bounded queue is full.
+type AdmissionPolicy int
+
+const (
+	// AdmitBlock applies backpressure: senders wait for queue space.
+	// Context-aware methods still honor cancellation while waiting.
+	AdmitBlock AdmissionPolicy = iota
+	// AdmitReject fails fast: context-aware methods return ErrQueueFull
+	// instead of waiting, bounding worst-case latency under overload
+	// (the admission-control mode a deadline-driven front-end wants).
+	// Legacy blocking methods ignore the policy and always block.
+	AdmitReject
 )
 
 // Options configures a Predictor.
@@ -45,6 +72,9 @@ type Options struct {
 	// MaxBatch caps how many requests one worker drains per batch.
 	// <= 0 selects 32.
 	MaxBatch int
+	// Admission selects the full-queue behavior of the context-aware
+	// methods (default AdmitBlock).
+	Admission AdmissionPolicy
 }
 
 // withDefaults resolves unset options.
@@ -73,6 +103,15 @@ const (
 	logKind
 )
 
+// Request lifecycle states. A queued request is owned jointly by the
+// caller and the worker pool; the state CAS decides who wins when a
+// cancellation races a worker picking the request up.
+const (
+	reqQueued    uint32 = iota // waiting in the queue (or a worker's batch)
+	reqRunning                 // a worker won the CAS and is computing it
+	reqAbandoned               // the caller won the CAS after cancellation
+)
+
 // request is one queued prediction. Requests are pooled and their done
 // channel (buffered, capacity 1) is reused, so the warm request path
 // allocates nothing.
@@ -85,13 +124,32 @@ type request struct {
 	val  float64
 	enq  time.Time
 	done chan struct{}
+	// state arbitrates caller cancellation vs. worker pickup: exactly
+	// one side transitions it away from reqQueued. An abandoned request
+	// is released back to the pool by the worker that drains it; a
+	// running one by the caller after the done signal.
+	state atomic.Uint32
 }
 
 // Predictor serves predictions from a pool of shared-weight replicas
 // of one trained model. Its methods mirror core.Model's prediction API
 // and are safe for concurrent use; results are bit-identical to
-// sequential calls on the wrapped model. Calling prediction methods
-// after Close panics.
+// sequential calls on the wrapped model.
+//
+// Two method families exist:
+//
+//   - The context-aware methods (ProbsCtx, PredictClassCtx, ...) honor
+//     cancellation and deadlines while a request is queued, apply the
+//     configured admission policy, and return ErrClosed after Close.
+//     The warm in-deadline path allocates nothing.
+//   - The legacy blocking methods (Probs, PredictClass, ...) always
+//     block for a result and panic after Close (their documented
+//     historical contract).
+//
+// Cancellation granularity: a context is honored up to the moment a
+// worker picks the request up. Once inference has started it runs to
+// completion (single predictions take microseconds) and the call
+// returns the result rather than the context error.
 type Predictor struct {
 	model *core.Model
 	opts  Options
@@ -145,7 +203,11 @@ func NewPredictor(m *core.Model, opts Options) *Predictor {
 func (p *Predictor) Model() *core.Model { return p.model }
 
 // Close drains in-flight requests, stops the workers, and releases the
-// pool. It is idempotent; prediction calls after Close panic.
+// pool. It is idempotent and safe to call from any number of
+// goroutines racing with in-flight enqueues: requests admitted before
+// Close complete normally, context-aware calls arriving after return
+// ErrClosed, and legacy blocking calls panic (their documented
+// contract).
 func (p *Predictor) Close() {
 	p.mu.Lock()
 	if !p.closed {
@@ -198,6 +260,134 @@ func (p *Predictor) PredictRaw(stmt string) float64 {
 	return metrics.InverseLogTransform(p.PredictLog(stmt), p.model.LogMin)
 }
 
+// ProbsCtx returns the class distribution for a statement in a freshly
+// allocated slice, honoring ctx while the request is queued.
+func (p *Predictor) ProbsCtx(ctx context.Context, stmt string) ([]float64, error) {
+	return p.ProbsIntoCtx(ctx, stmt, nil)
+}
+
+// ProbsIntoCtx writes the class distribution for a statement into dst
+// (grown only when capacity is insufficient) and returns the written
+// slice. It honors ctx cancellation and deadlines while the request is
+// queued, returns ErrQueueFull under the AdmitReject policy, and
+// ErrClosed after Close. With a capacity-sufficient dst the warm
+// in-deadline path performs zero allocations.
+func (p *Predictor) ProbsIntoCtx(ctx context.Context, stmt string, dst []float64) ([]float64, error) {
+	r, err := p.enqueueCtx(ctx, probsKind, stmt, dst)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.await(ctx, r); err != nil {
+		return nil, err
+	}
+	out := r.out
+	p.release(r)
+	return out, nil
+}
+
+// PredictClassCtx returns the argmax class for a statement, honoring
+// ctx while the request is queued.
+func (p *Predictor) PredictClassCtx(ctx context.Context, stmt string) (int, error) {
+	r, err := p.enqueueCtx(ctx, classKind, stmt, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.await(ctx, r); err != nil {
+		return 0, err
+	}
+	cls := r.cls
+	p.release(r)
+	return cls, nil
+}
+
+// PredictLogCtx returns the log-space regression prediction, honoring
+// ctx while the request is queued.
+func (p *Predictor) PredictLogCtx(ctx context.Context, stmt string) (float64, error) {
+	r, err := p.enqueueCtx(ctx, logKind, stmt, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.await(ctx, r); err != nil {
+		return 0, err
+	}
+	val := r.val
+	p.release(r)
+	return val, nil
+}
+
+// PredictRawCtx returns the regression prediction in the label's
+// original units, honoring ctx while the request is queued.
+func (p *Predictor) PredictRawCtx(ctx context.Context, stmt string) (float64, error) {
+	v, err := p.PredictLogCtx(ctx, stmt)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.InverseLogTransform(v, p.model.LogMin), nil
+}
+
+// ProbsBatchCtx computes the class distribution for every statement
+// across the replica pool, in input order. On error (cancellation,
+// rejection, close) it returns nil results and the first error;
+// requests already in flight are awaited or abandoned, never leaked.
+func (p *Predictor) ProbsBatchCtx(ctx context.Context, stmts []string) ([][]float64, error) {
+	out := make([][]float64, len(stmts))
+	reqs := make([]*request, len(stmts))
+	n, firstErr := p.enqueueBatchCtx(ctx, probsKind, stmts, reqs)
+	for i := 0; i < n; i++ {
+		r := reqs[i]
+		if err := p.await(ctx, r); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue // abandoned; the draining worker releases it
+		}
+		out[i] = r.out
+		p.release(r)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// PredictLogBatchCtx computes the log-space regression prediction for
+// every statement across the replica pool, in input order, with the
+// same error semantics as ProbsBatchCtx.
+func (p *Predictor) PredictLogBatchCtx(ctx context.Context, stmts []string) ([]float64, error) {
+	out := make([]float64, len(stmts))
+	reqs := make([]*request, len(stmts))
+	n, firstErr := p.enqueueBatchCtx(ctx, logKind, stmts, reqs)
+	for i := 0; i < n; i++ {
+		r := reqs[i]
+		if err := p.await(ctx, r); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[i] = r.val
+		p.release(r)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// enqueueBatchCtx enqueues one request per statement into reqs,
+// stopping at the first enqueue error. It returns how many were
+// enqueued and that error (nil when all made it in).
+func (p *Predictor) enqueueBatchCtx(ctx context.Context, kind reqKind, stmts []string, reqs []*request) (int, error) {
+	for i, s := range stmts {
+		r, err := p.enqueueCtx(ctx, kind, s, nil)
+		if err != nil {
+			return i, err
+		}
+		reqs[i] = r
+	}
+	return len(stmts), nil
+}
+
 // ProbsBatch computes the class distribution for every statement,
 // fanning the work across the replica pool, and returns one freshly
 // allocated distribution per statement, in input order.
@@ -231,13 +421,22 @@ func (p *Predictor) PredictLogBatch(stmts []string) []float64 {
 	return out
 }
 
-// enqueue submits a request to the worker pool, blocking when the
-// queue is full (backpressure).
-func (p *Predictor) enqueue(kind reqKind, stmt string, dst []float64) *request {
+// newRequest takes a pooled request and initializes it for one
+// prediction.
+func (p *Predictor) newRequest(kind reqKind, stmt string, dst []float64) *request {
 	r := p.reqPool.Get().(*request)
 	r.kind, r.stmt, r.dst = kind, stmt, dst
 	r.out = nil
+	r.state.Store(reqQueued)
 	r.enq = time.Now()
+	return r
+}
+
+// enqueue submits a request to the worker pool, blocking when the
+// queue is full (backpressure). It panics after Close — the legacy
+// methods' documented contract.
+func (p *Predictor) enqueue(kind reqKind, stmt string, dst []float64) *request {
+	r := p.newRequest(kind, stmt, dst)
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
@@ -246,6 +445,69 @@ func (p *Predictor) enqueue(kind reqKind, stmt string, dst []float64) *request {
 	p.queue <- r
 	p.mu.RUnlock()
 	return r
+}
+
+// enqueueCtx submits a request honoring ctx and the admission policy:
+// it returns ErrClosed after Close, ErrQueueFull when the queue is
+// full under AdmitReject, and ctx.Err() when ctx expires while waiting
+// for queue space under AdmitBlock.
+func (p *Predictor) enqueueCtx(ctx context.Context, kind reqKind, stmt string, dst []float64) (*request, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := p.newRequest(kind, stmt, dst)
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		p.release(r)
+		return nil, ErrClosed
+	}
+	// Fast path: queue has room (the common case for both policies).
+	select {
+	case p.queue <- r:
+		p.mu.RUnlock()
+		return r, nil
+	default:
+	}
+	if p.opts.Admission == AdmitReject {
+		p.mu.RUnlock()
+		p.release(r)
+		p.stats.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case p.queue <- r:
+		p.mu.RUnlock()
+		return r, nil
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		p.release(r)
+		return nil, ctx.Err()
+	}
+}
+
+// await waits for a request to complete, honoring ctx while it is
+// still queued. On cancellation it races the workers for ownership:
+// winning means the request is marked abandoned (the draining worker
+// releases it) and the context error is returned; losing means a
+// worker is already computing the result, which is imminent, so await
+// waits it out and returns nil. After a nil return the caller owns r
+// and must release it.
+func (p *Predictor) await(ctx context.Context, r *request) error {
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		if r.state.CompareAndSwap(reqQueued, reqAbandoned) {
+			p.stats.canceled.Add(1)
+			return ctx.Err()
+		}
+		// A worker won the pickup race (or already finished — select
+		// picks randomly among ready cases, so the done signal may
+		// already be buffered).
+		<-r.done
+		return nil
+	}
 }
 
 // release returns a completed request to the pool.
@@ -274,6 +536,13 @@ func (p *Predictor) worker(w int) {
 		// Completed, counted in process) lagging the work done.
 		p.stats.batches.Add(1)
 		for _, r := range batch {
+			// Win the ownership race against cancellation before touching
+			// the request (its dst aliases the caller's buffer): a caller
+			// that abandoned it has already returned.
+			if !r.state.CompareAndSwap(reqQueued, reqRunning) {
+				p.release(r)
+				continue
+			}
 			p.process(rep, ring, r)
 		}
 	}

@@ -19,6 +19,8 @@ const latRingSize = 1024
 type statsState struct {
 	completed atomic.Uint64
 	batches   atomic.Uint64
+	rejected  atomic.Uint64 // AdmitReject refusals (ErrQueueFull)
+	canceled  atomic.Uint64 // requests abandoned while queued (ctx expiry)
 
 	lat []latRing // one per worker
 }
@@ -76,6 +78,11 @@ type Stats struct {
 	// Completed/Batches.
 	Batches   uint64
 	MeanBatch float64
+	// Rejected counts requests refused with ErrQueueFull under the
+	// AdmitReject admission policy; Canceled counts requests whose
+	// context expired while they were still queued.
+	Rejected uint64
+	Canceled uint64
 	// QueueDepth is the number of requests currently waiting.
 	QueueDepth int
 	// Uptime is the time since NewPredictor; Throughput is
@@ -93,6 +100,8 @@ func (p *Predictor) Stats() Stats {
 	s := Stats{
 		Completed:  p.stats.completed.Load(),
 		Batches:    p.stats.batches.Load(),
+		Rejected:   p.stats.rejected.Load(),
+		Canceled:   p.stats.canceled.Load(),
 		QueueDepth: len(p.queue),
 		Uptime:     time.Since(p.start),
 	}
@@ -109,7 +118,7 @@ func (p *Predictor) Stats() Stats {
 // String renders the snapshot for logs and load drivers.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f uptime=%s",
+		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f rejected=%d canceled=%d uptime=%s",
 		s.Completed, s.Throughput, s.P50, s.P99, s.QueueDepth, s.Batches, s.MeanBatch,
-		s.Uptime.Round(time.Millisecond))
+		s.Rejected, s.Canceled, s.Uptime.Round(time.Millisecond))
 }

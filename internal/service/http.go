@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// NewHandler exposes a Service over HTTP/JSON:
+//
+//	POST /v1/predict  {"model","statement"|"statements",["deadline_ms"]}
+//	GET  /v1/models
+//	POST /v1/deploy   {"model",["version"]}
+//	GET  /v1/stats?model=NAME
+//
+// Request contexts propagate end to end: a client disconnect or a
+// deadline_ms expiry cancels the prediction while it is queued, and
+// admission-control rejections surface as 429s.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(s, w, r) })
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) { handleModels(s, w, r) })
+	mux.HandleFunc("/v1/deploy", func(w http.ResponseWriter, r *http.Request) { handleDeploy(s, w, r) })
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(s, w, r) })
+	return mux
+}
+
+// predictRequest is the /v1/predict body. Exactly one of Statement or
+// Statements must be set.
+type predictRequest struct {
+	Model      string   `json:"model"`
+	Statement  string   `json:"statement,omitempty"`
+	Statements []string `json:"statements,omitempty"`
+	// DeadlineMs bounds the request server-side (on top of whatever
+	// deadline the client connection already carries).
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+}
+
+type predictResponse struct {
+	Results []Prediction `json:"results"`
+}
+
+type deployRequest struct {
+	Model   string `json:"model"`
+	Version int    `json:"version,omitempty"` // 0 = latest
+}
+
+type statsResponse struct {
+	Info      ModelInfo   `json:"info"`
+	Completed uint64      `json:"completed"`
+	Rejected  uint64      `json:"rejected"`
+	Canceled  uint64      `json:"canceled"`
+	P50       string      `json:"p50"`
+	P99       string      `json:"p99"`
+	Stats     serve.Stats `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func handlePredict(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Model == "" || (req.Statement == "" && len(req.Statements) == 0) {
+		httpError(w, http.StatusBadRequest, errors.New("model and statement (or statements) required"))
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	stmts := req.Statements
+	if len(stmts) == 0 {
+		stmts = []string{req.Statement}
+	}
+	// One batch call: the whole replica pool works the statements
+	// concurrently rather than one at a time.
+	results, err := s.PredictBatch(ctx, req.Model, stmts)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Results: results})
+}
+
+func handleModels(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Models())
+}
+
+func handleDeploy(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req deployRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, errors.New("model required"))
+		return
+	}
+	info, err := s.Deploy(req.Model, req.Version)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func handleStats(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, errors.New("model query parameter required"))
+		return
+	}
+	st, info, err := s.Stats(name)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Info: info, Completed: st.Completed, Rejected: st.Rejected, Canceled: st.Canceled,
+		P50: st.P50.String(), P99: st.P99.String(), Stats: st,
+	})
+}
+
+// statusFor maps service and context errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotDeployed):
+		return http.StatusConflict
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrClosed), errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// newTestServer spins up a Service with one deployed classification
+// model and one deployed regression model behind the HTTP handler.
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(Options{Serve: serve.Options{Replicas: 1}})
+	if _, err := s.Swap("errors", trainCCNN(t, core.ErrorClassification)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap("rows", trainCCNN(t, core.AnswerSizePrediction)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() { srv.Close(); s.Close() })
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestHTTPPredictRoundTrip checks /v1/predict for classification and
+// regression, single and batch, against direct service calls.
+func TestHTTPPredictRoundTrip(t *testing.T) {
+	s, srv := newTestServer(t)
+	stmts := testStatements(5)
+
+	resp := postJSON(t, srv.URL+"/v1/predict", predictRequest{Model: "errors", Statement: stmts[0], DeadlineMs: 5000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	got := decodeJSON[predictResponse](t, resp)
+	if len(got.Results) != 1 {
+		t.Fatalf("results = %d", len(got.Results))
+	}
+	pr := got.Results[0]
+	want, err := s.Predict(t.Context(), "errors", stmts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Class != want.Class || pr.Version != want.Version || !pr.Classification {
+		t.Fatalf("prediction = %+v, want %+v", pr, want)
+	}
+	for c := range want.Probs {
+		if pr.Probs[c] != want.Probs[c] {
+			t.Fatal("probs drifted through JSON round trip")
+		}
+	}
+
+	// Batch, regression.
+	resp = postJSON(t, srv.URL+"/v1/predict", predictRequest{Model: "rows", Statements: stmts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	batch := decodeJSON[predictResponse](t, resp)
+	if len(batch.Results) != len(stmts) {
+		t.Fatalf("batch results = %d", len(batch.Results))
+	}
+	for i, stmt := range stmts {
+		want, err := s.Predict(t.Context(), "rows", stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Results[i].Raw != want.Raw || batch.Results[i].Classification {
+			t.Fatalf("batch[%d] = %+v", i, batch.Results[i])
+		}
+	}
+}
+
+// TestHTTPModelsAndStats checks the listing and metrics endpoints.
+func TestHTTPModelsAndStats(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := decodeJSON[[]ModelInfo](t, resp)
+	if len(models) != 2 || models[0].Name != "errors" || models[1].Name != "rows" {
+		t.Fatalf("models = %+v", models)
+	}
+	if models[0].LiveVersion != 1 || models[0].Task != "error-classification" {
+		t.Fatalf("models[0] = %+v", models[0])
+	}
+
+	// Generate one request so stats are non-empty, then fetch them.
+	postJSON(t, srv.URL+"/v1/predict", predictRequest{Model: "errors", Statement: testStatements(1)[0]}).Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/stats?model=errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[statsResponse](t, resp)
+	if st.Completed == 0 || st.Info.Name != "errors" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if resp, _ := http.Get(srv.URL + "/v1/stats"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stats without model = %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/v1/stats?model=ghost"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats ghost = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPDeploy checks /v1/deploy redeploys a version and bumps the
+// prediction provenance.
+func TestHTTPDeploy(t *testing.T) {
+	s, srv := newTestServer(t)
+	m := trainCCNN(t, core.ErrorClassification)
+	if _, err := core.FineTune(m, testSplit().Valid, core.TinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("errors", m); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, srv.URL+"/v1/deploy", deployRequest{Model: "errors", Version: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	info := decodeJSON[ModelInfo](t, resp)
+	if info.Version != 2 || !info.Live {
+		t.Fatalf("deploy info = %+v", info)
+	}
+	pr := postJSON(t, srv.URL+"/v1/predict", predictRequest{Model: "errors", Statement: testStatements(1)[0]})
+	if got := decodeJSON[predictResponse](t, pr); got.Results[0].Version != 2 {
+		t.Fatalf("post-deploy version = %d", got.Results[0].Version)
+	}
+}
+
+// TestHTTPErrorMapping checks error → status mapping: bad JSON, bad
+// methods, unknown models, missing fields.
+func TestHTTPErrorMapping(t *testing.T) {
+	_, srv := newTestServer(t)
+	cases := []struct {
+		name   string
+		do     func() (*http.Response, error)
+		status int
+	}{
+		{"predict bad json", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/v1/predict", "application/json", strings.NewReader("{"))
+		}, http.StatusBadRequest},
+		{"predict missing fields", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(`{"model":"errors"}`))
+		}, http.StatusBadRequest},
+		{"predict unknown model", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/v1/predict", "application/json",
+				strings.NewReader(`{"model":"ghost","statement":"SELECT 1"}`))
+		}, http.StatusNotFound},
+		{"predict wrong method", func() (*http.Response, error) {
+			return http.Get(srv.URL + "/v1/predict")
+		}, http.StatusMethodNotAllowed},
+		{"models wrong method", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/v1/models", "application/json", strings.NewReader("{}"))
+		}, http.StatusMethodNotAllowed},
+		{"deploy unknown model", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/v1/deploy", "application/json",
+				strings.NewReader(`{"model":"ghost"}`))
+		}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		e := decodeJSON[errorResponse](t, resp)
+		if e.Error == "" {
+			t.Fatalf("%s: empty error body", tc.name)
+		}
+	}
+}

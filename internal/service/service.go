@@ -1,0 +1,427 @@
+// Package service is the deployment layer over serve.Predictor: a
+// named, versioned model registry whose entries are immutable
+// core.Model snapshots, each served by a replica pool that can be
+// hot-swapped atomically.
+//
+// The paper's predictions only earn their keep inside a long-lived
+// database front-end: models must answer under request deadlines and
+// be redeployable — fine-tuned on fresh workload, swapped in — without
+// downtime. Register stores an immutable snapshot (deep weight copy,
+// so FineTune on the caller's model can never reach a served replica);
+// Deploy starts a serve.Predictor pool over a chosen version and swaps
+// it live; requests racing a swap retry transparently onto the new
+// pool, so no request is dropped and every request runs entirely on
+// one snapshot's weights — results are never a mix of two versions.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// ErrNotFound is returned for operations on a model name that was
+// never registered.
+var ErrNotFound = errors.New("service: model not found")
+
+// ErrNotDeployed is returned for predictions against a registered
+// model with no live version.
+var ErrNotDeployed = errors.New("service: model not deployed")
+
+// ErrClosed is returned for any operation after Service.Close. It
+// wraps serve.ErrClosed so one errors.Is sentinel covers "closed"
+// at either layer (the facade exports exactly that).
+var ErrClosed = fmt.Errorf("service: closed: %w", serve.ErrClosed)
+
+// Options configures a Service.
+type Options struct {
+	// Serve is the replica-pool template applied to every deployed
+	// version (replica count, queue size, batching, admission policy).
+	Serve serve.Options
+}
+
+// ModelInfo describes one registered model at one version.
+type ModelInfo struct {
+	// Name is the registry key the model was registered under.
+	Name string `json:"name"`
+	// Model is the underlying predictor kind (ccnn, wlstm, ...).
+	Model string `json:"model"`
+	// Task is the prediction task the model was trained for.
+	Task string `json:"task"`
+	// Classification reports whether the task has class labels.
+	Classification bool `json:"classification"`
+	// Version is this snapshot's registry version (1-based).
+	Version int `json:"version"`
+	// Versions is the total number of registered versions.
+	Versions int `json:"versions"`
+	// Live reports whether this version is currently serving; for
+	// registry listings LiveVersion is the deployed version (0 = none).
+	Live        bool `json:"live"`
+	LiveVersion int  `json:"live_version"`
+}
+
+// Prediction is one task-appropriate prediction with its provenance:
+// the registry name and snapshot version that produced it.
+type Prediction struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Classification results. Class is always present for
+	// classification (0 is a legitimate class); Probs is omitted for
+	// regression models.
+	Classification bool      `json:"classification"`
+	Class          int       `json:"class"`
+	Probs          []float64 `json:"probs,omitempty"`
+	// Regression results: log-space and original-unit values (always
+	// present; 0 is a legitimate prediction).
+	Log float64 `json:"log"`
+	Raw float64 `json:"raw"`
+}
+
+// livePool is one deployed version: a predictor pool bound to an
+// immutable snapshot. Swaps replace the whole struct atomically.
+type livePool struct {
+	version int
+	pred    *serve.Predictor
+}
+
+// entry is one registry slot: the append-only version history plus the
+// atomically swappable live pool.
+type entry struct {
+	name string
+	task core.Task
+	kind string // underlying model name (ccnn, ...)
+
+	mu       sync.Mutex // serializes Register version-append and Deploy
+	versions []*core.Model
+	live     atomic.Pointer[livePool]
+}
+
+// Service is a concurrent, versioned model registry and prediction
+// front door. All methods are safe for concurrent use.
+type Service struct {
+	opts Options
+
+	mu      sync.RWMutex // guards entries map and closed
+	entries map[string]*entry
+	closed  bool
+}
+
+// New creates an empty Service.
+func New(opts Options) *Service {
+	return &Service{opts: opts, entries: make(map[string]*entry)}
+}
+
+// Register stores an immutable snapshot of m under name and returns
+// its info. The first Register fixes the entry's task and model kind;
+// later versions must match both (a registry name is one predictor
+// contract, not a grab bag). Registering does not serve the version —
+// call Deploy (or Swap, which does both).
+func (s *Service) Register(name string, m *core.Model) (ModelInfo, error) {
+	if m == nil {
+		return ModelInfo{}, fmt.Errorf("service: register %q: nil model", name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ModelInfo{}, ErrClosed
+	}
+	e, ok := s.entries[name]
+	if !ok {
+		e = &entry{name: name, task: m.Task, kind: m.Name}
+		s.entries[name] = e
+	}
+	s.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m.Task != e.task || m.Name != e.kind {
+		return ModelInfo{}, fmt.Errorf("service: register %q: got %s/%s, registry entry is %s/%s",
+			name, m.Name, m.Task, e.kind, e.task)
+	}
+	snap := m.Snapshot()
+	snap.Version = len(e.versions) + 1
+	e.versions = append(e.versions, snap)
+	return e.info(snap.Version), nil
+}
+
+// Deploy makes the given version of name live, starting a fresh
+// replica pool over its snapshot and atomically swapping it in; the
+// previous pool finishes its in-flight requests and is closed.
+// version <= 0 selects the latest. Requests racing the swap retry onto
+// the new pool, so a deploy drops nothing.
+func (s *Service) Deploy(name string, version int) (ModelInfo, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.versions) == 0 {
+		return ModelInfo{}, fmt.Errorf("service: deploy %q: no registered versions", name)
+	}
+	if version <= 0 {
+		version = len(e.versions)
+	}
+	if version > len(e.versions) {
+		return ModelInfo{}, fmt.Errorf("service: deploy %q: version %d not registered (have 1..%d)",
+			name, version, len(e.versions))
+	}
+	// Double-check closed under the entry lock so a pool can never be
+	// born after Close tore the others down.
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ModelInfo{}, ErrClosed
+	}
+	next := &livePool{
+		version: version,
+		pred:    serve.NewPredictor(e.versions[version-1], s.opts.Serve),
+	}
+	prev := e.live.Swap(next)
+	if prev != nil {
+		prev.pred.Close() // drains in-flight requests before returning
+	}
+	return e.info(version), nil
+}
+
+// Swap registers m as a new version and deploys it in one step — the
+// FineTune → redeploy one-liner.
+func (s *Service) Swap(name string, m *core.Model) (ModelInfo, error) {
+	info, err := s.Register(name, m)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return s.Deploy(name, info.Version)
+}
+
+// Predict runs the task-appropriate prediction for name's live
+// version: class distribution and argmax for classification models,
+// log- and raw-space values for regression models. ctx bounds the
+// whole request (admission and queueing included).
+func (s *Service) Predict(ctx context.Context, name, stmt string) (Prediction, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return Prediction{}, err
+	}
+	for {
+		lp := e.live.Load()
+		if lp == nil {
+			return Prediction{}, ErrNotDeployed
+		}
+		pr, err := predictOn(ctx, lp, e, stmt)
+		if err == nil || !errors.Is(err, serve.ErrClosed) {
+			return pr, err
+		}
+		// The pool closed underneath us: a concurrent Deploy swapped it
+		// (retry onto its replacement) or the Service closed (report it).
+		if e.live.Load() == lp {
+			return Prediction{}, ErrClosed
+		}
+	}
+}
+
+// predictOn runs one prediction against a specific live pool.
+func predictOn(ctx context.Context, lp *livePool, e *entry, stmt string) (Prediction, error) {
+	pr := Prediction{Name: e.name, Version: lp.version, Classification: e.task.IsClassification()}
+	if pr.Classification {
+		probs, err := lp.pred.ProbsCtx(ctx, stmt)
+		if err != nil {
+			return Prediction{}, err
+		}
+		pr.Probs = probs
+		pr.Class = argmax(probs)
+		return pr, nil
+	}
+	v, err := lp.pred.PredictLogCtx(ctx, stmt)
+	if err != nil {
+		return Prediction{}, err
+	}
+	pr.Log = v
+	pr.Raw = metrics.InverseLogTransform(v, lp.pred.Model().LogMin)
+	return pr, nil
+}
+
+// PredictBatch runs one prediction per statement, fanning the work
+// across the live pool's replicas, and returns the results in input
+// order. Like Predict, a batch racing a hot swap retries onto the new
+// pool; a completed batch comes entirely from one snapshot.
+func (s *Service) PredictBatch(ctx context.Context, name string, stmts []string) ([]Prediction, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		lp := e.live.Load()
+		if lp == nil {
+			return nil, ErrNotDeployed
+		}
+		out, err := predictBatchOn(ctx, lp, e, stmts)
+		if err == nil || !errors.Is(err, serve.ErrClosed) {
+			return out, err
+		}
+		if e.live.Load() == lp {
+			return nil, ErrClosed
+		}
+	}
+}
+
+// predictBatchOn runs one batch against a specific live pool through
+// the serving layer's concurrent batch methods (enqueue all, then
+// await — the whole replica pool works the batch at once).
+func predictBatchOn(ctx context.Context, lp *livePool, e *entry, stmts []string) ([]Prediction, error) {
+	out := make([]Prediction, len(stmts))
+	if e.task.IsClassification() {
+		probs, err := lp.pred.ProbsBatchCtx(ctx, stmts)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range probs {
+			out[i] = Prediction{
+				Name: e.name, Version: lp.version, Classification: true,
+				Probs: p, Class: argmax(p),
+			}
+		}
+		return out, nil
+	}
+	logs, err := lp.pred.PredictLogBatchCtx(ctx, stmts)
+	if err != nil {
+		return nil, err
+	}
+	logMin := lp.pred.Model().LogMin
+	for i, v := range logs {
+		out[i] = Prediction{
+			Name: e.name, Version: lp.version,
+			Log: v, Raw: metrics.InverseLogTransform(v, logMin),
+		}
+	}
+	return out, nil
+}
+
+// PredictClass returns the argmax class of name's live version.
+func (s *Service) PredictClass(ctx context.Context, name, stmt string) (int, error) {
+	pr, err := s.Predict(ctx, name, stmt)
+	if err != nil {
+		return 0, err
+	}
+	return pr.Class, nil
+}
+
+// PredictRaw returns the original-unit regression prediction of
+// name's live version.
+func (s *Service) PredictRaw(ctx context.Context, name, stmt string) (float64, error) {
+	pr, err := s.Predict(ctx, name, stmt)
+	if err != nil {
+		return 0, err
+	}
+	return pr.Raw, nil
+}
+
+// Models lists every registered entry (sorted by name), reporting its
+// version count and live version.
+func (s *Service) Models() []ModelInfo {
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]ModelInfo, len(entries))
+	for i, e := range entries {
+		e.mu.Lock()
+		infos[i] = e.info(0)
+		e.mu.Unlock()
+	}
+	return infos
+}
+
+// Stats snapshots the live pool's service metrics for name.
+func (s *Service) Stats(name string) (serve.Stats, ModelInfo, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return serve.Stats{}, ModelInfo{}, err
+	}
+	lp := e.live.Load()
+	if lp == nil {
+		return serve.Stats{}, ModelInfo{}, ErrNotDeployed
+	}
+	e.mu.Lock()
+	info := e.info(lp.version)
+	e.mu.Unlock()
+	return lp.pred.Stats(), info, nil
+}
+
+// Close tears the registry down: every live pool is drained and
+// closed, and all further operations return ErrClosed. Idempotent and
+// safe under concurrent callers.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock() // no Deploy can race a new pool in (it re-checks closed)
+		if lp := e.live.Load(); lp != nil {
+			lp.pred.Close()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// entry looks a registry slot up.
+func (s *Service) entry(name string) (*entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, ok := s.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// info builds a ModelInfo for the given version (0 = describe the
+// entry as a whole). Callers hold e.mu or tolerate a racy Versions.
+func (e *entry) info(version int) ModelInfo {
+	liveV := 0
+	if lp := e.live.Load(); lp != nil {
+		liveV = lp.version
+	}
+	if version == 0 {
+		version = len(e.versions)
+	}
+	return ModelInfo{
+		Name: e.name, Model: e.kind, Task: e.task.String(),
+		Classification: e.task.IsClassification(),
+		Version:        version, Versions: len(e.versions),
+		Live: liveV == version && liveV != 0, LiveVersion: liveV,
+	}
+}
+
+// argmax matches core.Model.PredictClass's tie-breaking (first max).
+func argmax(p []float64) int {
+	best := 0
+	for c := range p {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}

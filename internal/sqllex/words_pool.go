@@ -1,0 +1,78 @@
+package sqllex
+
+import "unicode/utf8"
+
+// WordTokenizer is the pooled, interning variant of Words for bulk
+// tokenization (vocabulary building, TF-IDF featurization over a whole
+// training set — the last allocation hot spot of the word pipeline).
+// It shares scanWords with Words, so the token streams are identical;
+// the difference is memory behavior: every token string is interned in
+// the tokenizer's table, so a token allocates once on first sight and
+// never again, and all scan scratch is reused across calls. A warm
+// tokenizer with a capacity-sufficient destination slice performs zero
+// allocations per query.
+//
+// A WordTokenizer owns its scratch and intern table and is not safe
+// for concurrent use; bulk pipelines create one per pass (the table's
+// lifetime — and memory — then matches the corpus walk that needs it).
+type WordTokenizer struct {
+	runes  []rune            // decoded query scratch
+	lit    []rune            // normalized-literal scratch
+	key    []byte            // UTF-8 scratch for intern lookups
+	intern map[string]string // canonical token strings
+	out    []string          // destination, borrowed during one call
+	emit   func(tok []rune, s string) bool
+}
+
+// NewWordTokenizer builds an empty tokenizer.
+func NewWordTokenizer() *WordTokenizer {
+	t := &WordTokenizer{intern: make(map[string]string)}
+	// Bound once so the per-call scan allocates no closure.
+	t.emit = func(tok []rune, s string) bool {
+		if tok != nil {
+			s = t.internRunes(tok)
+		}
+		t.out = append(t.out, s)
+		return true
+	}
+	return t
+}
+
+// AppendWords appends query's word tokens to dst and returns the
+// extended slice. The token stream is exactly Words(query); token
+// strings are shared with every other query the tokenizer has seen.
+func (t *WordTokenizer) AppendWords(dst []string, query string) []string {
+	runes := t.runes[:0]
+	for _, r := range query {
+		runes = append(runes, r)
+	}
+	t.runes = runes
+	t.out = dst
+	scanWords(runes, &t.lit, t.emit)
+	out := t.out
+	t.out = nil // do not retain the caller's backing array
+	return out
+}
+
+// Words tokenizes query into a freshly allocated (exact-size is not
+// guaranteed) token slice, reusing scratch and interned strings.
+func (t *WordTokenizer) Words(query string) []string {
+	return t.AppendWords(make([]string, 0, len(query)/4+4), query)
+}
+
+// internRunes returns the canonical string for a multi-rune token,
+// allocating only the first time the token is seen.
+func (t *WordTokenizer) internRunes(tok []rune) string {
+	key := t.key[:0]
+	for _, r := range tok {
+		key = utf8.AppendRune(key, r)
+	}
+	t.key = key
+	// The string([]byte) conversion in a map index does not allocate.
+	if s, ok := t.intern[string(key)]; ok {
+		return s
+	}
+	s := string(key)
+	t.intern[s] = s
+	return s
+}

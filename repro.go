@@ -27,13 +27,28 @@
 //	split := repro.SplitRandom(w.Items, 1)
 //	model, _ := repro.Train("ccnn", repro.AnswerSizePrediction, split.Train, repro.DefaultConfig())
 //	rows := model.PredictRaw("SELECT * FROM PhotoObj WHERE r < 22")
+//
+// For serving, the recommended front door is the Service: a named,
+// versioned registry of immutable model snapshots served by replica
+// pools, with context-aware predictions and zero-downtime hot swaps:
+//
+//	svc := repro.NewService(repro.ServiceOptions{Serve: repro.ServeOptions{Replicas: 8}})
+//	defer svc.Close()
+//	svc.Swap("answer-size", model) // register v1 + deploy
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	pred, err := svc.Predict(ctx, "answer-size", "SELECT * FROM PhotoObj WHERE r < 22")
+//
+// cmd/serviced exposes the same Service over HTTP/JSON.
 package repro
 
 import (
 	"math/rand"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/service"
 	"repro/internal/sqlparse"
 	"repro/internal/synth"
 	"repro/internal/workload"
@@ -127,9 +142,63 @@ func NewPredictor(m *Model, opts ServeOptions) *Predictor {
 	return serve.NewPredictor(m, opts)
 }
 
+// AdmissionPolicy selects the full-queue behavior of the context-aware
+// prediction methods.
+type AdmissionPolicy = serve.AdmissionPolicy
+
+// The admission policies: block (backpressure, the default) or reject
+// with ErrQueueFull (bounded worst-case latency).
+const (
+	AdmitBlock  = serve.AdmitBlock
+	AdmitReject = serve.AdmitReject
+)
+
+// Serving-layer sentinel errors of the context-aware methods.
+var (
+	// ErrClosed is returned for predictions against a closed Predictor
+	// or Service.
+	ErrClosed = serve.ErrClosed
+	// ErrQueueFull is returned under AdmitReject when the request queue
+	// is full at enqueue time.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrModelNotFound is returned for Service operations on an
+	// unregistered name.
+	ErrModelNotFound = service.ErrNotFound
+	// ErrNotDeployed is returned for Service predictions against a
+	// registered model with no live version.
+	ErrNotDeployed = service.ErrNotDeployed
+)
+
+// Service is the deployment layer over Predictor pools: a named,
+// versioned registry of immutable model snapshots (Register/Deploy/
+// Swap) with context-aware predictions and zero-downtime hot swaps.
+type Service = service.Service
+
+// ServiceOptions configures NewService; its Serve field is the replica
+// pool template applied to every deployed version.
+type ServiceOptions = service.Options
+
+// ModelInfo describes one registered model version.
+type ModelInfo = service.ModelInfo
+
+// Prediction is one task-appropriate Service prediction with its
+// model-name and snapshot-version provenance.
+type Prediction = service.Prediction
+
+// NewService creates an empty model registry. Close it to drain and
+// release every deployed replica pool.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// NewServiceHandler exposes a Service over HTTP/JSON (/v1/predict,
+// /v1/models, /v1/deploy, /v1/stats) — the handler cmd/serviced
+// serves.
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
 // FineTune continues training a neural model on a new workload (the
 // transfer-learning extension of Section 8). Do not fine-tune a model
-// while a Predictor serves it — replicas alias its weights.
+// while a Predictor built directly on it serves it — replicas alias
+// its weights. A Service has no such hazard: it deploys immutable
+// snapshots, so the FineTune → Swap cycle is safe under live traffic.
 func FineTune(m *Model, train []Item, cfg Config) (*Model, error) {
 	return core.FineTune(m, train, cfg)
 }
