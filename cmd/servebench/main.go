@@ -7,13 +7,17 @@
 // SIGINT ends the run early and still flushes the final Stats() line.
 // With -deadline > 0 every request carries a context deadline through
 // the ctx-aware predict path; expired requests are counted rather than
-// served late.
+// served late. With -pprof-addr set, net/http/pprof profiling
+// endpoints are served on that address for the lifetime of the run,
+// so a hot load test can be profiled live
+// (`go tool pprof http://<addr>/debug/pprof/profile`).
 //
 // Examples:
 //
 //	servebench -model ccnn -task error -replicas 4 -clients 16 -duration 5s
 //	servebench -model clstm -task cpu -window 200us -max-batch 16
 //	servebench -model clstm -deadline 300us -admission reject
+//	servebench -model clstm -duration 60s -pprof-addr localhost:6060
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,6 +52,7 @@ func main() {
 	sessions := flag.Int("sessions", 1400, "synthetic SDSS sessions for train/test data")
 	reqDeadline := flag.Duration("deadline", 0, "per-request deadline through the ctx predict path (0 = legacy blocking path)")
 	admission := flag.String("admission", "block", "full-queue policy for ctx requests: block or reject")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	flag.Parse()
 
 	if *replicas <= 0 {
@@ -73,6 +80,15 @@ func main() {
 	task, err := parseTask(*taskName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof on %s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("servebench: pprof server: %v", err)
+			}
+		}()
 	}
 
 	scale := experiments.SmallScale()

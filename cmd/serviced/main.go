@@ -12,9 +12,16 @@
 // accepting, in-flight HTTP requests finish (bounded by -drain), and
 // every replica pool is drained and closed.
 //
+// With -pprof-addr set, net/http/pprof profiling endpoints are served
+// on a second, separate listener (never on the API address), so the
+// live service can be profiled under production traffic
+// (`go tool pprof http://<pprof-addr>/debug/pprof/profile`). The flag
+// is empty — profiling off — by default.
+//
 // Examples:
 //
 //	serviced -addr :8080 -models ccnn,wlstm -task error -replicas 4
+//	serviced -addr :8080 -models clstm -pprof-addr localhost:6060
 //	curl -s localhost:8080/v1/predict -d '{"model":"ccnn","statement":"SELECT 1","deadline_ms":50}'
 package main
 
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +64,7 @@ type config struct {
 	admission serve.AdmissionPolicy
 	sessions  int
 	drain     time.Duration
+	pprofAddr string
 }
 
 // parseFlags validates the command line into a config.
@@ -71,12 +80,13 @@ func parseFlags(args []string) (config, error) {
 	admission := fs.String("admission", "reject", "full-queue policy: reject (429) or block")
 	sessions := fs.Int("sessions", 1400, "synthetic SDSS sessions for training data")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	cfg := config{
 		addr: *addr, replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
-		window: *window, sessions: *sessions, drain: *drain,
+		window: *window, sessions: *sessions, drain: *drain, pprofAddr: *pprofAddr,
 	}
 	if cfg.replicas <= 0 {
 		return config{}, fmt.Errorf("serviced: -replicas must be positive, got %d", cfg.replicas)
@@ -111,6 +121,17 @@ func run(args []string, out *os.File) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+
+	if cfg.pprofAddr != "" {
+		// The profiling server is separate from the API listener so the
+		// pprof endpoints are never reachable on the service address.
+		go func() {
+			fmt.Fprintf(out, "pprof on %s/debug/pprof/\n", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				log.Printf("serviced: pprof server: %v", err)
+			}
+		}()
 	}
 
 	scale := experiments.SmallScale()

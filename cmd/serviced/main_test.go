@@ -25,6 +25,17 @@ func TestParseFlags(t *testing.T) {
 	if cfg.admission != serve.AdmitBlock || cfg.window != 200*time.Microsecond {
 		t.Fatalf("cfg = %+v", cfg)
 	}
+	if cfg.pprofAddr != "" {
+		t.Fatalf("pprof must be disabled by default, got %q", cfg.pprofAddr)
+	}
+
+	cfg, err = parseFlags([]string{"-pprof-addr", "localhost:6060"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.pprofAddr != "localhost:6060" {
+		t.Fatalf("pprofAddr = %q", cfg.pprofAddr)
+	}
 
 	for _, bad := range [][]string{
 		{"-replicas", "0"},

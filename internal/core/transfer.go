@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/f64"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/sqllex"
@@ -269,9 +270,8 @@ func (m *MultiTaskModel) step(ids []int, errLabel int, ansLog, cpuLog float64, r
 	dfeatA := m.headA.Backward(feat, m.doutA[:])
 	m.doutC[0] = dC
 	dfeatC := m.headC.Backward(feat, m.doutC[:])
-	for i := range dfeat {
-		dfeat[i] += dfeatA[i] + dfeatC[i]
-	}
+	f64.AddTo(dfeat, dfeatA)
+	f64.AddTo(dfeat, dfeatC)
 	dpooled := m.drop.Backward(dfeat, mask)
 
 	n := len(xs)
@@ -293,9 +293,7 @@ func (m *MultiTaskModel) step(ids []int, errLabel int, ansLog, cpuLog float64, r
 	for ci, conv := range m.convs {
 		dconv := conv.Backward(caches[ci], dpooled[off:off+m.kernels])
 		for t := range dconv {
-			for i, v := range dconv[t] {
-				dxs[t][i] += v
-			}
+			f64.AddTo(dxs[t], dconv[t])
 		}
 		off += m.kernels
 	}

@@ -1,0 +1,72 @@
+package f64
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the kernel layer, at the sizes the nn hot
+// paths actually use: LSTM gate rows (In/H up to 64), CNN windows
+// (Width·In up to 160), and the sequence-level input GEMM. The CI
+// bench-smoke step runs these alongside the model-level benchmarks.
+
+var benchSink float64
+
+func BenchmarkDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{16, 64, 160, 256} {
+		x, y := randVec(rng, n), randVec(rng, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += Dot(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{16, 64, 256} {
+		x, y := randVec(rng, n), randVec(rng, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Axpy(0.5, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkGemvN(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][2]int{{64, 64}, {256, 64}} {
+		m, n := dims[0], dims[1]
+		a, x := randVec(rng, m*n), randVec(rng, n)
+		dst := make([]float64, m)
+		b.Run(fmt.Sprintf("m=%d/n=%d", m, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GemvN(dst, a, x)
+			}
+		})
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	// The LSTM sequence-level input transform shape: n steps by 4H
+	// gates times In inputs.
+	for _, dims := range [][3]int{{40, 256, 64}, {40, 64, 256}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a, bm := randVec(rng, m*k), randVec(rng, k*n)
+		c := make([]float64, m*n)
+		b.Run(fmt.Sprintf("m=%d/n=%d/k=%d", m, n, k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Gemm(c, a, bm, m, n, k)
+			}
+		})
+	}
+}

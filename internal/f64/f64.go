@@ -1,0 +1,265 @@
+// Package f64 provides the small dense float64 math kernels behind
+// the hot paths of internal/nn: dot products, scaled vector updates,
+// matrix–vector products, and the small GEMM shapes used by the
+// sequence-level LSTM input transform. The kernels are plain Go —
+// no assembly, no unsafe — but are written for throughput on modern
+// cores: 4-way unrolled inner loops with independent accumulator
+// lanes (breaking the loop-carried add dependency) and slice
+// re-slicing hints that let the compiler hoist bounds checks.
+//
+// # Determinism
+//
+// Floating-point addition is not associative, so the summation order
+// of every kernel is fixed and documented. Dot uses four unrolled
+// accumulator lanes: s0..s3 accumulate elements i≡0..3 (mod 4) of the
+// first ⌊n/4⌋·4 elements, the scalar tail accumulates the remainder,
+// and the lanes recombine as ((s0+s1)+(s2+s3))+tail. The matrix
+// kernels process output rows (or shared-dimension terms) in blocks
+// of four: within a block every output element accumulates its terms
+// sequentially in increasing index order, and leftover rows/terms
+// fall back to Dot or Axpy. In every case the order is a pure
+// function of the operand shapes — never of slice capacity,
+// alignment, or build flags — so results are bit-identical
+// run-to-run and across call sites: direct and pooled inference
+// agree exactly because both route through these kernels.
+//
+// # Contracts
+//
+// Vector arguments named like y or dst must be at least as long as
+// the vector that drives the iteration (x); extra elements are
+// untouched. Element-wise kernels (Axpy, AddTo, ScaleTo) permit dst
+// to alias their inputs elementwise (e.g. AddTo(x, x) doubles x).
+// Matrix kernels require dst to be disjoint from the matrix and
+// vector operands. Matrices are dense row-major with no padding.
+package f64
+
+// Dot returns the dot product of x and y[:len(x)].
+func Dot(x, y []float64) float64 {
+	var s0, s1, s2, s3, tail float64
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	_ = y[n-1] // bounds-check hint; panics (rather than reading stale data) if y is short
+	i := 0
+	for ; i <= n-4; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		tail += x[i] * y[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + tail
+}
+
+// Axpy computes y[i] += a*x[i] for i < len(x).
+func Axpy(a float64, x, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	_ = y[n-1] // bounds-check hint; panics (rather than silently growing) if y is short
+	i := 0
+	for ; i <= n-4; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// AddTo computes dst[i] += x[i] for i < len(x).
+func AddTo(dst, x []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	_ = dst[n-1] // bounds-check hint; panics (rather than silently growing) if dst is short
+	i := 0
+	for ; i <= n-4; i += 4 {
+		dst[i] += x[i]
+		dst[i+1] += x[i+1]
+		dst[i+2] += x[i+2]
+		dst[i+3] += x[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += x[i]
+	}
+}
+
+// ScaleTo computes dst[i] = a*x[i] for i < len(x). dst may alias x,
+// in which case it scales in place.
+func ScaleTo(dst []float64, a float64, x []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	_ = dst[n-1] // bounds-check hint; panics (rather than silently growing) if dst is short
+	i := 0
+	for ; i <= n-4; i += 4 {
+		dst[i] = a * x[i]
+		dst[i+1] = a * x[i+1]
+		dst[i+2] = a * x[i+2]
+		dst[i+3] = a * x[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] = a * x[i]
+	}
+}
+
+// Transpose writes dst = Aᵀ where A is an m×n row-major matrix and
+// dst is n×m. dst must not alias a. Hot paths transpose a weight
+// matrix once per pass so the subsequent products run along
+// contiguous rows (long axpy-style inner loops) instead of strided
+// columns or per-row short dots.
+func Transpose(dst, a []float64, m, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*n : i*n+n]
+		for j, v := range ai {
+			dst[j*m+i] = v
+		}
+	}
+}
+
+// GemvN computes dst = A·x where A is a len(dst)×len(x) row-major
+// matrix: dst[r] = A[r,:]·x. Rows are processed in blocks of four
+// that share each x load (register blocking); within a block a row's
+// sum accumulates sequentially in increasing i, and leftover rows use
+// Dot's lane order.
+func GemvN(dst, a, x []float64) {
+	n := len(x)
+	m := len(dst)
+	r := 0
+	for ; r <= m-4; r += 4 {
+		a0 := a[r*n : r*n+n]
+		a1 := a[(r+1)*n : (r+1)*n+n]
+		a2 := a[(r+2)*n : (r+2)*n+n]
+		a3 := a[(r+3)*n : (r+3)*n+n]
+		var s0, s1, s2, s3 float64
+		for i, xi := range x {
+			s0 += a0[i] * xi
+			s1 += a1[i] * xi
+			s2 += a2[i] * xi
+			s3 += a3[i] * xi
+		}
+		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
+	}
+	for ; r < m; r++ {
+		dst[r] = Dot(a[r*n:r*n+n], x)
+	}
+}
+
+// GemvNAdd computes dst += A·x where A is a len(dst)×len(x)
+// row-major matrix, with the same blocking and per-row summation
+// order as GemvN.
+func GemvNAdd(dst, a, x []float64) {
+	n := len(x)
+	m := len(dst)
+	r := 0
+	for ; r <= m-4; r += 4 {
+		a0 := a[r*n : r*n+n]
+		a1 := a[(r+1)*n : (r+1)*n+n]
+		a2 := a[(r+2)*n : (r+2)*n+n]
+		a3 := a[(r+3)*n : (r+3)*n+n]
+		var s0, s1, s2, s3 float64
+		for i, xi := range x {
+			s0 += a0[i] * xi
+			s1 += a1[i] * xi
+			s2 += a2[i] * xi
+			s3 += a3[i] * xi
+		}
+		dst[r] += s0
+		dst[r+1] += s1
+		dst[r+2] += s2
+		dst[r+3] += s3
+	}
+	for ; r < m; r++ {
+		dst[r] += Dot(a[r*n:r*n+n], x)
+	}
+}
+
+// GemvT computes dst = Aᵀ·x where A is a len(x)×len(dst) row-major
+// matrix: dst[c] = Σ_r x[r]·A[r,c]. Rows are consumed four at a time
+// — dst[c] accumulates x[r]·A[r,c] + … + x[r+3]·A[r+3,c] left to
+// right — and leftover rows with x[r] == 0 are skipped.
+func GemvT(dst, a, x []float64) {
+	n := len(dst)
+	m := len(x)
+	for i := range dst {
+		dst[i] = 0
+	}
+	r := 0
+	for ; r <= m-4; r += 4 {
+		x0, x1, x2, x3 := x[r], x[r+1], x[r+2], x[r+3]
+		a0 := a[r*n : r*n+n]
+		a1 := a[(r+1)*n : (r+1)*n+n]
+		a2 := a[(r+2)*n : (r+2)*n+n]
+		a3 := a[(r+3)*n : (r+3)*n+n]
+		for j := range dst {
+			dst[j] += x0*a0[j] + x1*a1[j] + x2*a2[j] + x3*a3[j]
+		}
+	}
+	for ; r < m; r++ {
+		if xr := x[r]; xr != 0 {
+			Axpy(xr, a[r*n:r*n+n], dst)
+		}
+	}
+}
+
+// Gemm computes C += A·B for row-major C (m×n), A (m×k), B (k×n).
+// Row i of C accumulates A[i,l]·B[l,:] in increasing l, four terms at
+// a time; leftover terms with A[i,l] == 0 are skipped.
+func Gemm(c, a, b []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		l := 0
+		for ; l <= k-4; l += 4 {
+			a0, a1, a2, a3 := ai[l], ai[l+1], ai[l+2], ai[l+3]
+			b0 := b[l*n : l*n+n]
+			b1 := b[(l+1)*n : (l+1)*n+n]
+			b2 := b[(l+2)*n : (l+2)*n+n]
+			b3 := b[(l+3)*n : (l+3)*n+n]
+			for j := range ci {
+				ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; l < k; l++ {
+			if al := ai[l]; al != 0 {
+				Axpy(al, b[l*n:l*n+n], ci)
+			}
+		}
+	}
+}
+
+// GemmTN computes C += Aᵀ·B for row-major C (m×n), A (k×m), B (k×n):
+// C[i,j] += Σ_l A[l,i]·B[l,j]. Row i of C accumulates its terms in
+// increasing l, four at a time; leftover terms with A[l,i] == 0 are
+// skipped. This is the outer-product accumulation shape of weight
+// gradients (dW += dYᵀ·X summed over a sequence).
+func GemmTN(c, a, b []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		l := 0
+		for ; l <= k-4; l += 4 {
+			a0, a1, a2, a3 := a[l*m+i], a[(l+1)*m+i], a[(l+2)*m+i], a[(l+3)*m+i]
+			b0 := b[l*n : l*n+n]
+			b1 := b[(l+1)*n : (l+1)*n+n]
+			b2 := b[(l+2)*n : (l+2)*n+n]
+			b3 := b[(l+3)*n : (l+3)*n+n]
+			for j := range ci {
+				ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; l < k; l++ {
+			if v := a[l*m+i]; v != 0 {
+				Axpy(v, b[l*n:l*n+n], ci)
+			}
+		}
+	}
+}

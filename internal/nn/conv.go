@@ -1,6 +1,10 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/f64"
+)
 
 // Conv1D is one bank of K convolution kernels of a fixed window width
 // over a sequence of d-dimensional token embeddings, followed by ReLU
@@ -44,7 +48,8 @@ func (c *Conv1D) CloneShared() *Conv1D {
 // ConvCache stores the forward state needed by Backward, in buffers
 // owned by the layer and reused across calls.
 type ConvCache struct {
-	xs     [][]float64
+	xflat  []float64 // inputs packed contiguously, n*In
+	n      int       // sequence length of the cached forward pass
 	argmax []int     // winning window start per kernel (-1: all <= 0)
 	pre    []float64 // pre-ReLU activation at the winning position
 
@@ -56,6 +61,11 @@ type ConvCache struct {
 // Forward computes the pooled feature vector. Sequences shorter than
 // the window are implicitly zero-padded on the right. The returned
 // slice is owned by the layer and valid until the next Forward call.
+//
+// The input rows are packed into one contiguous n×In buffer up front,
+// so every window j with j+Width <= n reduces to a single flat dot
+// product of length Width·In; only the zero-padded tail windows (which
+// exist only when n < Width) use a truncated length.
 func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 	n := len(xs)
 	positions := n - c.Width + 1
@@ -64,26 +74,26 @@ func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 	}
 	pooled := growF(&c.pooled, c.K)
 	cache := &c.cache
-	cache.xs = xs
+	cache.n = n
+	x := growF(&cache.xflat, n*c.In)
+	for t, row := range xs {
+		copy(x[t*c.In:(t+1)*c.In], row)
+	}
 	growI(&cache.argmax, c.K)
 	growF(&cache.pre, c.K)
+	wlen := c.Width * c.In
 	for k := 0; k < c.K; k++ {
-		w := c.W.W[k*c.Width*c.In : (k+1)*c.Width*c.In]
+		w := c.W.W[k*wlen : (k+1)*wlen]
+		bk := c.B.W[k]
 		best := 0.0
 		bestPos := -1
 		bestPre := 0.0
 		for j := 0; j < positions; j++ {
-			sum := c.B.W[k]
-			for t := 0; t < c.Width; t++ {
-				if j+t >= n {
-					break // zero padding
-				}
-				row := xs[j+t]
-				wOff := t * c.In
-				for i, xi := range row {
-					sum += w[wOff+i] * xi
-				}
+			l := wlen
+			if avail := (n - j) * c.In; avail < l {
+				l = avail // zero padding: n < Width
 			}
+			sum := bk + f64.Dot(w[:l], x[j*c.In:j*c.In+l])
 			if sum > best {
 				best = sum
 				bestPos = j
@@ -101,34 +111,29 @@ func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 // parameters, returning dL/dxs (owned by the layer, valid until the
 // next Backward call).
 func (c *Conv1D) Backward(cache *ConvCache, dpooled []float64) [][]float64 {
-	n := len(cache.xs)
+	n := cache.n
 	growF(&cache.dxsFlat, n*c.In)
 	zeroF(cache.dxsFlat)
 	dxs := growV(&cache.dxs, n)
 	for i := range dxs {
 		dxs[i] = cache.dxsFlat[i*c.In : (i+1)*c.In]
 	}
+	wlen := c.Width * c.In
 	for k := 0; k < c.K; k++ {
 		g := dpooled[k]
 		pos := cache.argmax[k]
 		if g == 0 || pos < 0 {
 			continue // ReLU killed the activation or no positive window
 		}
-		w := c.W.W[k*c.Width*c.In : (k+1)*c.Width*c.In]
-		gw := c.W.G[k*c.Width*c.In : (k+1)*c.Width*c.In]
-		c.B.G[k] += g
-		for t := 0; t < c.Width; t++ {
-			if pos+t >= n {
-				break
-			}
-			row := cache.xs[pos+t]
-			drow := dxs[pos+t]
-			wOff := t * c.In
-			for i, xi := range row {
-				gw[wOff+i] += g * xi
-				drow[i] += g * w[wOff+i]
-			}
+		l := wlen
+		if avail := (n - pos) * c.In; avail < l {
+			l = avail
 		}
+		w := c.W.W[k*wlen : k*wlen+l]
+		gw := c.W.G[k*wlen : k*wlen+l]
+		c.B.G[k] += g
+		f64.Axpy(g, cache.xflat[pos*c.In:pos*c.In+l], gw)
+		f64.Axpy(g, w, cache.dxsFlat[pos*c.In:pos*c.In+l])
 	}
 	return dxs
 }

@@ -3,6 +3,8 @@ package nn
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/f64"
 )
 
 // Embedding maps token ids to d-dimensional distributed representations
@@ -54,10 +56,7 @@ func (e *Embedding) Backward(ids []int, dx [][]float64) {
 		if id < 0 || id >= e.V {
 			id = 0
 		}
-		g := e.P.G[id*e.D : (id+1)*e.D]
-		for j, v := range dx[i] {
-			g[j] += v
-		}
+		f64.AddTo(e.P.G[id*e.D:(id+1)*e.D], dx[i])
 	}
 }
 
@@ -88,18 +87,12 @@ func (d *Dense) CloneShared() *Dense {
 	return &Dense{W: d.W.Shadow(), B: d.B.Shadow(), In: d.In, Out: d.Out}
 }
 
-// Forward computes Wx + b. The returned slice is owned by the layer
-// and valid until the next Forward call.
+// Forward computes Wx + b. x must have length In. The returned slice
+// is owned by the layer and valid until the next Forward call.
 func (d *Dense) Forward(x []float64) []float64 {
 	y := growF(&d.y, d.Out)
-	for o := 0; o < d.Out; o++ {
-		w := d.W.W[o*d.In : (o+1)*d.In]
-		sum := d.B.W[o]
-		for i, xi := range x {
-			sum += w[i] * xi
-		}
-		y[o] = sum
-	}
+	copy(y, d.B.W)
+	f64.GemvNAdd(y, d.W.W, x)
 	return y
 }
 
@@ -107,18 +100,11 @@ func (d *Dense) Forward(x []float64) []float64 {
 // the layer, valid until the next Backward call).
 func (d *Dense) Backward(x, dy []float64) []float64 {
 	dx := growF(&d.dx, d.In)
-	zeroF(dx)
-	for o := 0; o < d.Out; o++ {
-		g := dy[o]
-		if g == 0 {
-			continue
-		}
-		w := d.W.W[o*d.In : (o+1)*d.In]
-		gw := d.W.G[o*d.In : (o+1)*d.In]
-		d.B.G[o] += g
-		for i, xi := range x {
-			gw[i] += g * xi
-			dx[i] += g * w[i]
+	f64.GemvT(dx, d.W.W[:d.Out*d.In], dy)
+	f64.AddTo(d.B.G, dy)
+	for o, g := range dy {
+		if g != 0 {
+			f64.Axpy(g, x, d.W.G[o*d.In:(o+1)*d.In])
 		}
 	}
 	return dx

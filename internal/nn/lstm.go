@@ -3,6 +3,8 @@ package nn
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/f64"
 )
 
 // LSTMLayer is one LSTM layer following the formulation of Appendix
@@ -16,6 +18,16 @@ import (
 //	h  = Γo ⊙ tanh(c)
 //
 // Gate weights are packed in order [candidate, update, forget, output].
+//
+// The input contribution Wx·xₜ has no sequential dependency, so
+// Forward hoists it out of the recurrence: the whole sequence is
+// packed into one contiguous n×In matrix and transformed in a single
+// sequence-level GEMM (pre = X·Wxᵀ + b) before the timestep loop,
+// which then only computes the recurrent Wh·hₜ₋₁ term and the gate
+// nonlinearities. Backward mirrors this: the BPTT recurrence only
+// propagates dhₜ₋₁ through Wh, while the Wx/Wh/bias gradients and the
+// input gradients are accumulated afterwards as sequence-level
+// matrix products over the stored per-step gate gradients.
 //
 // Forward/Backward reuse per-layer scratch buffers, so a layer instance
 // must not be used from multiple goroutines; data-parallel training
@@ -60,22 +72,29 @@ func (l *LSTMLayer) CloneShared() *LSTMLayer {
 // LSTMCache stores the forward activations needed by BPTT in flat
 // backing arrays owned by the layer and reused across calls.
 type LSTMCache struct {
-	xs [][]float64 // inputs per step
-	n  int         // steps in the cached sequence
+	xflat []float64 // inputs packed contiguously, n*In
+	n     int       // steps in the cached sequence
 
-	// Flat per-step activations. gates is n*4h with per-step layout
-	// [candidate h | update h | forget h | output h]; cs/tanhCs/hs are
-	// n*h (cell states, their tanh, hidden states).
-	gates, cs, tanhCs, hs []float64
-	hsRows                [][]float64 // row headers into hs
+	// Transposed weight copies, refreshed every Forward pass so the
+	// input GEMM and the recurrent update run along contiguous rows
+	// (In×4h and h×4h) instead of per-gate short dots. Backward
+	// reuses whT for dhₜ₋₁ = Whᵀ·dpreₜ.
+	wxT, whT []float64
 
-	// Forward scratch.
-	pre []float64 // 4h pre-activations for the current step
+	// Flat per-step activations. pre is n*4h holding the gate
+	// pre-activations (input GEMM + bias + recurrent term); gates is
+	// n*4h with per-step layout [candidate h | update h | forget h |
+	// output h]; cs/tanhCs/hs are n*h (cell states, their tanh, hidden
+	// states).
+	pre, gates, cs, tanhCs, hs []float64
+	hsRows                     [][]float64 // row headers into hs
 
-	// Backward scratch. dhA/dhB swap roles as dhNext/dhPrev across
+	// Backward scratch. dpre is n*4h: the per-step gate gradients kept
+	// for the sequence-level parameter/input gradient products after
+	// the recurrence. dhA/dhB swap roles as dhNext/dhPrev across
 	// timesteps; zero stays all-zero (cPrev at t=0).
 	dh, dc, dcNext, dhA, dhB, zero []float64 // h each
-	dpre                           []float64 // 4h
+	dpre                           []float64 // n*4h
 	dxsFlat                        []float64 // n*In
 	dxs                            [][]float64
 }
@@ -83,9 +102,11 @@ type LSTMCache struct {
 // Hidden returns the sequence of hidden states.
 func (c *LSTMCache) Hidden() [][]float64 { return c.hsRows }
 
-// ensure sizes the cache for an n-step sequence.
-func (c *LSTMCache) ensure(n, h int) {
+// ensure sizes the cache for an n-step sequence of in-dim inputs.
+func (c *LSTMCache) ensure(n, h, in int) {
 	c.n = n
+	growF(&c.xflat, n*in)
+	growF(&c.pre, n*4*h)
 	growF(&c.gates, n*4*h)
 	growF(&c.cs, n*h)
 	growF(&c.tanhCs, n*h)
@@ -94,7 +115,6 @@ func (c *LSTMCache) ensure(n, h int) {
 	for t := 0; t < n; t++ {
 		c.hsRows[t] = c.hs[t*h : (t+1)*h]
 	}
-	growF(&c.pre, 4*h)
 }
 
 // Forward runs the layer over the input sequence, returning hidden
@@ -104,29 +124,31 @@ func (l *LSTMLayer) Forward(xs [][]float64) ([][]float64, *LSTMCache) {
 	n := len(xs)
 	h := l.H
 	cache := &l.cache
-	cache.xs = xs
-	cache.ensure(n, h)
-	pre := cache.pre
+	cache.ensure(n, h, l.In)
+	x := cache.xflat
+	for t, row := range xs {
+		copy(x[t*l.In:(t+1)*l.In], row)
+	}
+	// Transposed weights: products below run along contiguous length-4h
+	// rows instead of 4h short dots per step.
+	wxT := growF(&cache.wxT, l.In*4*h)
+	f64.Transpose(wxT, l.Wx.W, 4*h, l.In)
+	whT := growF(&cache.whT, h*4*h)
+	f64.Transpose(whT, l.Wh.W, 4*h, h)
+	// Sequence-level input GEMM, hoisted out of the recurrence:
+	// pre[t] = Wx·xₜ + b for every step at once (pre = bias rows +
+	// X·Wxᵀ), keeping Wx hot in cache instead of re-streaming it
+	// between the gate and recurrent work of every timestep.
 	for t := 0; t < n; t++ {
-		copy(pre, l.B.W)
-		x := xs[t]
-		var hPrev []float64
+		copy(cache.pre[t*4*h:(t+1)*4*h], l.B.W)
+	}
+	f64.Gemm(cache.pre, x, wxT, n, 4*h, l.In)
+	for t := 0; t < n; t++ {
+		pre := cache.pre[t*4*h : (t+1)*4*h]
 		if t > 0 {
-			hPrev = cache.hs[(t-1)*h : t*h]
-		}
-		for g := 0; g < 4*h; g++ {
-			row := l.Wx.W[g*l.In : (g+1)*l.In]
-			sum := pre[g]
-			for i, xi := range x {
-				sum += row[i] * xi
-			}
-			if hPrev != nil {
-				rowH := l.Wh.W[g*h : (g+1)*h]
-				for i, hi := range hPrev {
-					sum += rowH[i] * hi
-				}
-			}
-			pre[g] = sum
+			// Recurrent term: pre += Wh·hₜ₋₁ (the only matrix work left
+			// inside the sequential loop), as a 1×h by h×4h product.
+			f64.Gemm(pre, cache.hs[(t-1)*h:t*h], whT, 1, 4*h, h)
 		}
 		gb := t * 4 * h
 		cand := cache.gates[gb : gb+h]
@@ -161,15 +183,20 @@ func (l *LSTMLayer) Forward(xs [][]float64) ([][]float64, *LSTMCache) {
 // above (nil entries mean zero). It returns gradients with respect to
 // the inputs (owned by the layer, valid until the next Backward call)
 // and accumulates parameter gradients.
+//
+// The timestep loop only runs the true recurrence (gate gradients and
+// dhₜ₋₁ = Whᵀ·dpreₜ); every per-step gate gradient is stored, and the
+// parameter gradients (dWx += dpreᵀ·X, dWh += dpre[1:]ᵀ·H[:n-1],
+// db += Σₜ dpreₜ) and input gradients (dX = dpre·Wx) are computed
+// afterwards as sequence-level matrix products.
 func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 	n := cache.n
 	h := l.H
 	growF(&cache.dxsFlat, n*l.In)
-	zeroF(cache.dxsFlat)
 	dxs := growV(&cache.dxs, n)
 	dh := growF(&cache.dh, h)
 	dc := growF(&cache.dc, h)
-	dpre := growF(&cache.dpre, 4*h)
+	dpreAll := growF(&cache.dpre, n*4*h)
 	growF(&cache.zero, h)
 	zeroF(cache.zero)
 	dhNext := growF(&cache.dhA, h)
@@ -180,9 +207,7 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 	for t := n - 1; t >= 0; t-- {
 		copy(dh, dhNext)
 		if t < len(dhs) && dhs[t] != nil {
-			for i, v := range dhs[t] {
-				dh[i] += v
-			}
+			f64.AddTo(dh, dhs[t])
 		}
 		gb := t * 4 * h
 		cand := cache.gates[gb : gb+h]
@@ -197,6 +222,7 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 			cPrev = cache.zero
 		}
 		// Gradients through h = go * tanh(c).
+		dpre := dpreAll[gb : gb+4*h]
 		for i := 0; i < h; i++ {
 			dgo := dh[i] * tc[i]
 			dci := dh[i]*gout[i]*(1-tc[i]*tc[i]) + dcNext[i]
@@ -209,41 +235,31 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 			dpre[2*h+i] = dgf * gf[i] * (1 - gf[i])
 			dpre[3*h+i] = dgo * gout[i] * (1 - gout[i])
 		}
-		// Parameter and input gradients.
-		x := cache.xs[t]
-		var hPrev []float64
+		// The recurrence proper: dhₜ₋₁ = Whᵀ·dpreₜ, read off the
+		// transposed copy Forward cached (h contiguous length-4h rows).
 		if t > 0 {
-			hPrev = cache.hs[(t-1)*h : t*h]
+			f64.GemvN(dhPrev, cache.whT, dpre)
 		}
-		dx := cache.dxsFlat[t*l.In : (t+1)*l.In]
-		zeroF(dhPrev)
-		for g := 0; g < 4*h; g++ {
-			gr := dpre[g]
-			if gr == 0 {
-				continue
-			}
-			l.B.G[g] += gr
-			rowX := l.Wx.W[g*l.In : (g+1)*l.In]
-			gRowX := l.Wx.G[g*l.In : (g+1)*l.In]
-			for i, xi := range x {
-				gRowX[i] += gr * xi
-				dx[i] += gr * rowX[i]
-			}
-			if hPrev != nil {
-				rowH := l.Wh.W[g*h : (g+1)*h]
-				gRowH := l.Wh.G[g*h : (g+1)*h]
-				for i, hi := range hPrev {
-					gRowH[i] += gr * hi
-					dhPrev[i] += gr * rowH[i]
-				}
-			}
-		}
-		dxs[t] = dx
 		dhNext, dhPrev = dhPrev, dhNext
 		// dcNext flows via the forget gate.
 		for i := 0; i < h; i++ {
 			dcNext[i] = dc[i] * gf[i]
 		}
+	}
+	// Sequence-level parameter and input gradients over the stored
+	// per-step gate gradients.
+	for t := 0; t < n; t++ {
+		f64.AddTo(l.B.G, dpreAll[t*4*h:(t+1)*4*h])
+	}
+	f64.GemmTN(l.Wx.G, dpreAll, cache.xflat, 4*h, l.In, n)
+	if n > 1 {
+		// dpre rows 1..n-1 pair with hidden states 0..n-2.
+		f64.GemmTN(l.Wh.G, dpreAll[4*h:], cache.hs, 4*h, h, n-1)
+	}
+	zeroF(cache.dxsFlat)
+	f64.Gemm(cache.dxsFlat, dpreAll, l.Wx.W, n, l.In, 4*h)
+	for t := 0; t < n; t++ {
+		dxs[t] = cache.dxsFlat[t*l.In : (t+1)*l.In]
 	}
 	return dxs
 }

@@ -1,6 +1,10 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/f64"
+)
 
 // Model is a sequence model mapping token-id sequences to output
 // vectors (class logits, or a single regression value).
@@ -114,9 +118,7 @@ func (m *CNNModel) Backward(ids []int, cacheAny any, dout []float64) {
 		dslice := dpooled[off : off+m.cfg.Kernels]
 		dconv := conv.Backward(cache.convs[ci], dslice)
 		for t := range dconv {
-			for i, v := range dconv[t] {
-				dxs[t][i] += v
-			}
+			f64.AddTo(dxs[t], dconv[t])
 		}
 		off += m.cfg.Kernels
 	}
