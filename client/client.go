@@ -1,0 +1,481 @@
+// Package client is the typed Go client for the prediction service's
+// /v1 HTTP API (internal/service, cmd/serviced). It replaces
+// hand-rolled HTTP with a library that encodes the API's operational
+// contract:
+//
+//   - Per-request deadlines: Options.Timeout bounds every attempt (on
+//     top of whatever deadline the caller's context carries), and
+//     deadlines propagate server-side so an expired request is
+//     cancelled while queued, not served late.
+//   - Bounded retries with exponential backoff on 429, 5xx, and
+//     transport errors — predictions are pure functions of the
+//     deployed snapshot, so retrying them is always safe. Deploys are
+//     never retried implicitly.
+//   - Optional request hedging: with Options.Hedge set, a prediction
+//     that has not answered within the hedge delay is raced by a
+//     second identical attempt, and the first response wins — the
+//     classic tail-latency amortization for replicated serving.
+//   - Connection reuse: one pooled transport per Client; create one
+//     Client per server and share it across goroutines.
+//
+// Result types are shared with the service layer (re-exported here
+// and from the repro facade), so a prediction obtained over the wire
+// carries exactly the provenance a co-located Service call would.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/service"
+)
+
+// Prediction is one task-appropriate prediction with provenance
+// (registry name and snapshot version), as served by /v1/predict.
+type Prediction = service.Prediction
+
+// ModelInfo describes one registered model version, as served by
+// /v1/models and /v1/deploy.
+type ModelInfo = service.ModelInfo
+
+// DeployOptions are the per-deployment pool overrides accepted by
+// /v1/deploy (admission policy, queue bound, replicas).
+type DeployOptions = service.DeployOptions
+
+// Admission policy names for DeployOptions.
+const (
+	AdmissionInherit = service.AdmissionInherit
+	AdmissionBlock   = service.AdmissionBlock
+	AdmissionReject  = service.AdmissionReject
+)
+
+// ModelStats is one model's service metrics, as served by /v1/stats.
+type ModelStats struct {
+	Info  ModelInfo   `json:"info"`
+	Stats serve.Stats `json:"stats"`
+}
+
+// Sentinel errors, matched through errors.Is against the *APIError a
+// failed call returns.
+var (
+	// ErrNotFound: the model name is not registered (404).
+	ErrNotFound = errors.New("client: model not found")
+	// ErrNotDeployed: the model is registered but has no live version
+	// (409).
+	ErrNotDeployed = errors.New("client: model not deployed")
+	// ErrOverloaded: the model's admission quota rejected the request
+	// (429). Retried automatically up to the retry budget.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrUnavailable: the server is warming up, draining, or closed
+	// (503). Retried automatically up to the retry budget.
+	ErrUnavailable = errors.New("client: server unavailable")
+)
+
+// APIError is a non-2xx response from the service, carrying the HTTP
+// status and the server's error message. It matches the sentinel
+// errors above through errors.Is.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// Is maps statuses onto the package sentinels for errors.Is.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrNotFound:
+		return e.Status == http.StatusNotFound
+	case ErrNotDeployed:
+		return e.Status == http.StatusConflict
+	case ErrOverloaded:
+		return e.Status == http.StatusTooManyRequests
+	case ErrUnavailable:
+		return e.Status == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// retryable reports whether a fresh attempt could plausibly succeed:
+// admission rejections and server-side failures, but never client
+// mistakes (4xx other than 429).
+func (e *APIError) retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// Options configures a Client. The zero value is usable: no default
+// deadline, 2 retries with 50ms base backoff, no hedging.
+type Options struct {
+	// HTTPClient overrides the underlying *http.Client. nil selects a
+	// dedicated pooled transport (connection reuse across requests).
+	HTTPClient *http.Client
+	// Timeout is the per-attempt deadline applied to every request
+	// when > 0, layered under any caller context deadline. Each retry
+	// or hedge attempt gets a fresh allowance.
+	Timeout time.Duration
+	// Retries is the maximum number of re-attempts after a retryable
+	// failure (429, 5xx, transport error). 0 selects the default of 2;
+	// negative disables retries.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// subsequent retry. <= 0 selects the default of 50ms.
+	Backoff time.Duration
+	// Hedge, when > 0, arms request hedging for predictions: an
+	// attempt that has not completed within this delay — or that fails
+	// with a retryable error sooner — is raced by one duplicate, and
+	// the first successful response wins. The hedge doubles as the
+	// retry for hedged calls, so a hedged call issues at most two
+	// attempts total.
+	Hedge time.Duration
+}
+
+// resolved returns opts with defaults applied.
+func (o Options) resolved() Options {
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Client is a typed /v1 API client. Safe for concurrent use; create
+// one per server and share it.
+type Client struct {
+	base string
+	http *http.Client
+	opts Options
+
+	// sleep is the backoff clock, swappable in tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New creates a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q: scheme must be http or https", baseURL)
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return &Client{
+		base:  strings.TrimRight(u.String(), "/"),
+		http:  hc,
+		opts:  opts.resolved(),
+		sleep: sleepCtx,
+	}, nil
+}
+
+// Close releases idle connections. The client must not be used after.
+func (c *Client) Close() {
+	c.http.CloseIdleConnections()
+}
+
+// predictRequest mirrors the /v1/predict body.
+type predictRequest struct {
+	Model      string   `json:"model"`
+	Statement  string   `json:"statement,omitempty"`
+	Statements []string `json:"statements,omitempty"`
+	DeadlineMs int      `json:"deadline_ms,omitempty"`
+}
+
+type predictResponse struct {
+	Results []Prediction `json:"results"`
+}
+
+// deployRequest mirrors the /v1/deploy body.
+type deployRequest struct {
+	Model   string `json:"model"`
+	Version int    `json:"version,omitempty"`
+	DeployOptions
+}
+
+// Predict runs one prediction against model's live version. It is
+// retried (and hedged, if configured) on retryable failures; the
+// configured Timeout also rides to the server as deadline_ms so the
+// request is cancelled server-side, not just abandoned.
+func (c *Client) Predict(ctx context.Context, model, statement string) (Prediction, error) {
+	out, err := c.PredictBatch(ctx, model, []string{statement})
+	if err != nil {
+		return Prediction{}, err
+	}
+	return out[0], nil
+}
+
+// PredictBatch runs one prediction per statement, in input order, with
+// the same retry/hedging semantics as Predict.
+func (c *Client) PredictBatch(ctx context.Context, model string, statements []string) ([]Prediction, error) {
+	if len(statements) == 0 {
+		return nil, nil
+	}
+	req := predictRequest{Model: model, Statements: statements}
+	if c.opts.Timeout > 0 {
+		// Round up so the server-side deadline is never shorter than
+		// the client's (a sub-millisecond timeout still ships 1ms).
+		req.DeadlineMs = int((c.opts.Timeout + time.Millisecond - 1) / time.Millisecond)
+	}
+	var resp predictResponse
+	if err := c.callHedged(ctx, http.MethodPost, "/v1/predict", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(statements) {
+		return nil, fmt.Errorf("client: predict returned %d results for %d statements",
+			len(resp.Results), len(statements))
+	}
+	return resp.Results, nil
+}
+
+// Models lists every registered model.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var out []ModelInfo
+	if err := c.call(ctx, http.MethodGet, "/v1/models", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Deploy makes version of model live (version 0 = latest), optionally
+// overriding the pool template for this deployment. Deploys are not
+// retried: the caller decides whether re-issuing one is appropriate.
+func (c *Client) Deploy(ctx context.Context, model string, version int, opts ...DeployOptions) (ModelInfo, error) {
+	if len(opts) > 1 {
+		return ModelInfo{}, errors.New("client: deploy: at most one DeployOptions")
+	}
+	req := deployRequest{Model: model, Version: version}
+	if len(opts) == 1 {
+		req.DeployOptions = opts[0]
+	}
+	var info ModelInfo
+	if err := c.call(ctx, http.MethodPost, "/v1/deploy", req, &info, false); err != nil {
+		return ModelInfo{}, err
+	}
+	return info, nil
+}
+
+// Stats fetches model's live-deployment service metrics (throughput,
+// latency percentiles, per-model rejection counts).
+func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
+	var st ModelStats
+	err := c.call(ctx, http.MethodGet, "/v1/stats?model="+url.QueryEscape(model), nil, &st, true)
+	return st, err
+}
+
+// Healthz probes readiness: nil once the server has warm-booted,
+// ErrUnavailable (via *APIError) while it is warming up or draining.
+// Not retried — a readiness probe reports, it does not wait.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/v1/healthz", nil, nil, false)
+}
+
+// WaitReady polls Healthz until the server reports ready or ctx
+// expires, for boot orchestration.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		err := c.Healthz(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("client: server not ready: %w (last: %v)", ctxErr, err)
+		}
+		if err := c.sleep(ctx, 20*time.Millisecond); err != nil {
+			return fmt.Errorf("client: server not ready: %w", err)
+		}
+	}
+}
+
+// call performs one API call with the client's retry budget (when
+// retryable) but without hedging.
+func (c *Client) call(ctx context.Context, method, path string, in, out any, retryable bool) error {
+	body, err := marshalBody(in)
+	if err != nil {
+		return err
+	}
+	retries := c.opts.Retries
+	if !retryable {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, err := c.once(ctx, method, path, body)
+		if err == nil {
+			return unmarshalBody(data, out)
+		}
+		lastErr = err
+		if attempt >= retries || !isRetryable(err) || ctx.Err() != nil {
+			break
+		}
+		if err := c.sleep(ctx, c.opts.Backoff<<attempt); err != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+// callHedged performs a prediction call: hedged when configured,
+// plain retries otherwise.
+func (c *Client) callHedged(ctx context.Context, method, path string, in, out any) error {
+	if c.opts.Hedge <= 0 {
+		return c.call(ctx, method, path, in, out, true)
+	}
+	body, err := marshalBody(in)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels the losing racer in
+	type result struct {
+		data []byte
+		err  error
+	}
+	results := make(chan result, 2)
+	attempt := func() {
+		data, err := c.once(ctx, method, path, body)
+		results <- result{data, err}
+	}
+	go attempt()
+	launched := 1
+	hedge := time.NewTimer(c.opts.Hedge)
+	defer hedge.Stop()
+	var firstErr error
+	for done := 0; done < launched; {
+		select {
+		case <-hedge.C:
+			if launched == 1 {
+				launched = 2
+				go attempt()
+			}
+		case r := <-results:
+			if r.err == nil {
+				return unmarshalBody(r.data, out)
+			}
+			done++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			// A failure before the hedge delay launches the hedge
+			// immediately (when the failure is worth re-attempting):
+			// the hedge doubles as the retry, so enabling hedging
+			// never makes a call less resilient than Retries >= 1.
+			if launched == 1 && isRetryable(r.err) && ctx.Err() == nil {
+				launched = 2
+				go attempt()
+			}
+		}
+	}
+	return firstErr
+}
+
+// once performs a single HTTP attempt, applying the per-attempt
+// timeout, and returns the response body on 2xx or a typed error.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	if c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: read response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return nil, apiErr
+	}
+	return data, nil
+}
+
+// isRetryable classifies an attempt error: retryable API statuses and
+// transport-level failures (connection refused/reset, a per-attempt
+// timeout). Expiry of the caller's own context stops the retry loop
+// separately — their deadline is an instruction, not a failure to
+// paper over.
+func isRetryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.retryable()
+	}
+	return true
+}
+
+func marshalBody(in any) ([]byte, error) {
+	if in == nil {
+		return nil, nil
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	return data, nil
+}
+
+func unmarshalBody(data []byte, out any) error {
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,23 +1,32 @@
-// Command servebench load-tests the serving layer: it trains one model
-// on a synthetic workload, wraps it in a serve.Predictor, drives it
-// with concurrent clients replaying test-split statements for a fixed
-// duration, and prints the service metrics (throughput, p50/p99
-// latency, queue depth, micro-batch sizes, rejections, cancellations).
+// Command servebench load-tests the serving stack end to end through
+// the typed /v1 client: concurrent clients drive predictions over
+// HTTP — deadlines, retries, and hedging included — and the run
+// reports both client-observed latency percentiles and the server's
+// own per-model service metrics.
 //
-// SIGINT ends the run early and still flushes the final Stats() line.
-// With -deadline > 0 every request carries a context deadline through
-// the ctx-aware predict path; expired requests are counted rather than
-// served late. With -pprof-addr set, net/http/pprof profiling
-// endpoints are served on that address for the lifetime of the run,
-// so a hot load test can be profiled live
-// (`go tool pprof http://<addr>/debug/pprof/profile`).
+// Two targets:
+//
+//   - In-process (default): trains one model on a synthetic workload,
+//     deploys it in a service.Service behind a real HTTP listener on a
+//     loopback port, and drives that. One command measures the whole
+//     stack: client → HTTP → handler → admission → replica pool.
+//   - Remote (-addr): drives an already-running serviced, training
+//     nothing. The named model must be deployed there.
+//
+// SIGINT ends the run early and still flushes the final stats. With
+// -deadline > 0 every request carries that per-request deadline (client
+// timeout + server-side deadline_ms); expired requests are counted
+// rather than served late. -retries and -hedge exercise the client's
+// retry and hedging machinery under load. With -pprof-addr set,
+// net/http/pprof profiling endpoints are served on that address for
+// the lifetime of the run (`go tool pprof http://<addr>/debug/pprof/profile`).
 //
 // Examples:
 //
 //	servebench -model ccnn -task error -replicas 4 -clients 16 -duration 5s
-//	servebench -model clstm -task cpu -window 200us -max-batch 16
 //	servebench -model clstm -deadline 300us -admission reject
-//	servebench -model clstm -duration 60s -pprof-addr localhost:6060
+//	servebench -model ccnn -hedge 1ms -retries 3
+//	servebench -addr http://prod-host:8080 -model ccnn -clients 64
 package main
 
 import (
@@ -26,46 +35,55 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/serve"
+	"repro/internal/service"
 )
 
 func main() {
-	model := flag.String("model", "ccnn", "model to serve (mfreq, median, ctfidf, wtfidf, ccnn, wcnn, clstm, wlstm)")
+	model := flag.String("model", "ccnn", "model to serve (ccnn, wcnn, clstm, wlstm, ...)")
 	taskName := flag.String("task", "error", "task: error, session, cpu, answer, elapsed")
-	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas (worker goroutines)")
+	addr := flag.String("addr", "", "base URL of a running serviced (empty = spin up an in-process server)")
+	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas (in-process mode)")
 	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "concurrent load-generating clients")
 	duration := flag.Duration("duration", 3*time.Second, "load duration")
-	window := flag.Duration("window", 0, "micro-batch gather window (0 = opportunistic only)")
-	maxBatch := flag.Int("max-batch", 32, "max requests per micro-batch")
-	queue := flag.Int("queue", 0, "request queue size (0 = default)")
+	window := flag.Duration("window", 0, "micro-batch gather window (in-process mode)")
+	maxBatch := flag.Int("max-batch", 32, "max requests per micro-batch (in-process mode)")
+	queue := flag.Int("queue", 0, "request queue size (0 = default; in-process mode)")
 	sessions := flag.Int("sessions", 1400, "synthetic SDSS sessions for train/test data")
-	reqDeadline := flag.Duration("deadline", 0, "per-request deadline through the ctx predict path (0 = legacy blocking path)")
-	admission := flag.String("admission", "block", "full-queue policy for ctx requests: block or reject")
+	reqDeadline := flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+	admission := flag.String("admission", "block", "full-queue policy: block or reject (in-process mode)")
+	retries := flag.Int("retries", -1, "client retry budget on 429/5xx (-1 = off, 0 = client default)")
+	hedge := flag.Duration("hedge", 0, "hedge delay: fire a duplicate request after this wait (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	flag.Parse()
 
-	if *replicas <= 0 {
-		log.Fatalf("servebench: -replicas must be positive, got %d", *replicas)
-	}
 	if *clients <= 0 {
 		log.Fatalf("servebench: -clients must be positive, got %d", *clients)
 	}
-	if *maxBatch <= 0 {
-		log.Fatalf("servebench: -max-batch must be positive, got %d", *maxBatch)
-	}
 	if *duration <= 0 {
 		log.Fatalf("servebench: -duration must be positive, got %s", *duration)
+	}
+	if *addr == "" {
+		if *replicas <= 0 {
+			log.Fatalf("servebench: -replicas must be positive, got %d", *replicas)
+		}
+		if *maxBatch <= 0 {
+			log.Fatalf("servebench: -max-batch must be positive, got %d", *maxBatch)
+		}
 	}
 	var policy serve.AdmissionPolicy
 	switch *admission {
@@ -76,7 +94,6 @@ func main() {
 	default:
 		log.Fatalf("servebench: unknown -admission %q (want block or reject)", *admission)
 	}
-
 	task, err := parseTask(*taskName)
 	if err != nil {
 		log.Fatal(err)
@@ -91,78 +108,129 @@ func main() {
 		}()
 	}
 
+	// Statements replayed by the load clients.
 	scale := experiments.SmallScale()
 	scale.SDSSSessions = *sessions
 	env := experiments.NewEnv(scale)
-	split := env.SDSSSplit
+	stmts := make([]string, len(env.SDSSSplit.Test))
+	for i, item := range env.SDSSSplit.Test {
+		stmts[i] = item.Statement
+	}
 
-	fmt.Fprintf(os.Stderr, "training %s for %s on %d statements...\n", *model, task, len(split.Train))
-	m, err := env.Model(*model, task, experiments.HomoInstance)
+	baseURL := *addr
+	if baseURL == "" {
+		// In-process target: train, deploy, serve on a loopback port.
+		fmt.Fprintf(os.Stderr, "training %s for %s on %d statements...\n", *model, task, len(env.SDSSSplit.Train))
+		m, err := env.Model(*model, task, experiments.HomoInstance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc := service.New(service.Options{Serve: serve.Options{
+			Replicas:    *replicas,
+			QueueSize:   *queue,
+			BatchWindow: *window,
+			MaxBatch:    *maxBatch,
+			Admission:   policy,
+		}})
+		defer svc.Close()
+		if _, err := svc.Swap(*model, m); err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: service.NewHandler(svc)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		baseURL = "http://" + ln.Addr().String()
+	}
+
+	c, err := client.New(baseURL, client.Options{
+		Timeout: *reqDeadline,
+		Retries: *retries,
+		Hedge:   *hedge,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
 
-	p := serve.NewPredictor(m, serve.Options{
-		Replicas:    *replicas,
-		QueueSize:   *queue,
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		Admission:   policy,
-	})
-	defer p.Close()
-
-	stmts := make([]string, len(split.Test))
-	for i, item := range split.Test {
-		stmts[i] = item.Statement
-	}
-	fmt.Fprintf(os.Stderr, "serving with %d replicas, %d clients, %s window, for %s...\n",
-		*replicas, *clients, *window, *duration)
-
-	// SIGINT ends the load early; the final Stats() line still prints.
+	// SIGINT ends the load early; the final stats still print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	ctx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
 
-	var expired, rejected atomic.Uint64
+	fmt.Fprintf(os.Stderr, "driving %s via %s with %d clients for %s...\n",
+		*model, baseURL, *clients, *duration)
+
+	var served, expired, rejected, failed atomic.Uint64
+	lats := make([][]time.Duration, *clients)
+	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
+	for cl := 0; cl < *clients; cl++ {
 		wg.Add(1)
-		go func(c int) {
+		go func(cl int) {
 			defer wg.Done()
-			classification := task.IsClassification()
-			for i := c; ctx.Err() == nil; i++ {
+			for i := cl; ctx.Err() == nil; i++ {
 				stmt := stmts[i%len(stmts)]
-				if *reqDeadline > 0 {
-					rctx, rcancel := context.WithTimeout(ctx, *reqDeadline)
-					var err error
-					if classification {
-						_, err = p.PredictClassCtx(rctx, stmt)
-					} else {
-						_, err = p.PredictLogCtx(rctx, stmt)
+				t0 := time.Now()
+				_, err := c.Predict(ctx, *model, stmt)
+				switch {
+				case err == nil:
+					served.Add(1)
+					lats[cl] = append(lats[cl], time.Since(t0))
+				case errors.Is(err, context.DeadlineExceeded), isStatus(err, http.StatusGatewayTimeout):
+					// The per-request deadline expired — on the client
+					// (ctx) or on the server (504), whichever won.
+					if ctx.Err() != nil {
+						return // run over, not a request expiry
 					}
-					rcancel()
-					switch {
-					case errors.Is(err, context.DeadlineExceeded):
-						expired.Add(1)
-					case errors.Is(err, serve.ErrQueueFull):
-						rejected.Add(1)
-					}
-					continue
-				}
-				if classification {
-					p.PredictClass(stmt)
-				} else {
-					p.PredictLog(stmt)
+					expired.Add(1)
+				case errors.Is(err, client.ErrOverloaded):
+					rejected.Add(1)
+				case ctx.Err() != nil:
+					return
+				default:
+					failed.Add(1)
 				}
 			}
-		}(c)
+		}(cl)
 	}
 	wg.Wait()
-	fmt.Println(p.Stats())
-	if *reqDeadline > 0 {
-		fmt.Printf("deadline=%s expired=%d queue-rejected=%d\n", *reqDeadline, expired.Load(), rejected.Load())
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
 	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p := func(q int) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[(len(all)-1)*q/100]
+	}
+	fmt.Printf("client: served=%d throughput=%.0f/s p50=%s p99=%s expired=%d rejected=%d failed=%d\n",
+		served.Load(), float64(served.Load())/elapsed.Seconds(), p(50), p(99),
+		expired.Load(), rejected.Load(), failed.Load())
+
+	// Server-side view (per-model attribution of the same run).
+	statsCtx, statsCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer statsCancel()
+	if st, err := c.Stats(statsCtx, *model); err == nil {
+		fmt.Printf("server: %s\n", st.Stats)
+	} else {
+		fmt.Fprintf(os.Stderr, "servebench: fetch server stats: %v\n", err)
+	}
+}
+
+// isStatus reports whether err is an API error with the given HTTP
+// status.
+func isStatus(err error, status int) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == status
 }
 
 func parseTask(s string) (core.Task, error) {

@@ -1,12 +1,25 @@
 // Command serviced is the network front door for the prediction
-// service: it trains the requested models on a synthetic workload,
-// registers and deploys them in a service.Service (versioned registry,
-// hot-swappable replica pools), and serves the HTTP/JSON API:
+// service: a versioned registry of model snapshots (hot-swappable
+// replica pools, optional durable storage) behind the HTTP/JSON API:
 //
 //	POST /v1/predict  {"model","statement"|"statements",["deadline_ms"]}
 //	GET  /v1/models
-//	POST /v1/deploy   {"model",["version"]}
+//	POST /v1/deploy   {"model",["version"],["admission"],["queue_size"],["replicas"]}
 //	GET  /v1/stats?model=NAME
+//	GET  /v1/healthz
+//
+// With -store-dir set the registry is durable: every registered
+// version is persisted as a checksummed artifact and the live
+// deployments are recorded, so a restarted serviced warm-boots every
+// previously deployed model — bit-identical predictions, no
+// retraining. Models named in -models that are not restored from the
+// store are trained on a synthetic workload and deployed.
+//
+// The listener starts before the warm boot, so /v1/healthz implements
+// the readiness contract: 503 while the store is being replayed, 200
+// once the registry is restored. Models that still need training are
+// trained after that (predictions for them 404 until deployed; on a
+// restart against a warm store there is nothing left to train).
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops
 // accepting, in-flight HTTP requests finish (bounded by -drain), and
@@ -21,7 +34,7 @@
 // Examples:
 //
 //	serviced -addr :8080 -models ccnn,wlstm -task error -replicas 4
-//	serviced -addr :8080 -models clstm -pprof-addr localhost:6060
+//	serviced -addr :8080 -models ccnn -store-dir /var/lib/serviced  # survives restarts
 //	curl -s localhost:8080/v1/predict -d '{"model":"ccnn","statement":"SELECT 1","deadline_ms":50}'
 package main
 
@@ -30,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
@@ -65,13 +79,14 @@ type config struct {
 	sessions  int
 	drain     time.Duration
 	pprofAddr string
+	storeDir  string
 }
 
 // parseFlags validates the command line into a config.
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("serviced", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "HTTP listen address")
-	models := fs.String("models", "ccnn", "comma-separated models to train and deploy")
+	models := fs.String("models", "ccnn", "comma-separated models to serve (warm-booted from the store or trained)")
 	taskName := fs.String("task", "error", "task: error, session, cpu, answer, elapsed")
 	replicas := fs.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas per deployed model")
 	queue := fs.Int("queue", 0, "request queue size per model (0 = default)")
@@ -81,12 +96,14 @@ func parseFlags(args []string) (config, error) {
 	sessions := fs.Int("sessions", 1400, "synthetic SDSS sessions for training data")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
+	storeDir := fs.String("store-dir", "", "directory for durable model artifacts (empty = memory-only registry)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	cfg := config{
 		addr: *addr, replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
 		window: *window, sessions: *sessions, drain: *drain, pprofAddr: *pprofAddr,
+		storeDir: *storeDir,
 	}
 	if cfg.replicas <= 0 {
 		return config{}, fmt.Errorf("serviced: -replicas must be positive, got %d", cfg.replicas)
@@ -117,7 +134,7 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
@@ -134,37 +151,28 @@ func run(args []string, out *os.File) error {
 		}()
 	}
 
-	scale := experiments.SmallScale()
-	scale.SDSSSessions = cfg.sessions
-	env := experiments.NewEnv(scale)
-
-	svc := service.New(service.Options{Serve: serve.Options{
+	opts := service.Options{Serve: serve.Options{
 		Replicas:    cfg.replicas,
 		QueueSize:   cfg.queue,
 		MaxBatch:    cfg.maxBatch,
 		BatchWindow: cfg.window,
 		Admission:   cfg.admission,
-	}})
+	}}
+	if cfg.storeDir != "" {
+		store, err := service.NewDirStore(cfg.storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = store
+		fmt.Fprintf(out, "durable registry at %s\n", cfg.storeDir)
+	}
+	svc := service.New(opts)
 	defer svc.Close()
 
-	for _, name := range cfg.models {
-		fmt.Fprintf(out, "training %s for %s on %d statements...\n",
-			name, cfg.task, len(env.SDSSSplit.Train))
-		m, err := env.Model(name, cfg.task, experiments.HomoInstance)
-		if err != nil {
-			return err
-		}
-		info, err := svc.Swap(name, m)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "deployed %s v%d (%d replicas)\n", info.Name, info.Version, cfg.replicas)
-	}
-
+	// Serve immediately: /v1/healthz answers 503 until the boot below
+	// finishes, so orchestrators can probe readiness instead of
+	// guessing how long warm boot and training take.
 	srv := &http.Server{Addr: cfg.addr, Handler: service.NewHandler(svc)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(out, "serving on %s\n", cfg.addr)
@@ -175,11 +183,31 @@ func run(args []string, out *os.File) error {
 		errc <- nil
 	}()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	bootc := make(chan error, 1)
+	go func() { bootc <- boot(cfg, svc, out) }()
+
 	select {
-	case err := <-errc:
+	case err = <-errc: // listener died (e.g. port in use) before boot finished
+		svc.Close()
 		return err
-	case <-ctx.Done():
+	case err = <-bootc:
+		if err != nil { // boot failed: tear the listener down
+			srv.Close()
+			<-errc
+			return err
+		}
+		select {
+		case err = <-errc: // listener died after boot
+			svc.Close()
+			return err
+		case <-ctx.Done():
+		}
+	case <-ctx.Done(): // signal mid-boot: shut down gracefully anyway
 	}
+
 	fmt.Fprintln(out, "shutting down...")
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
@@ -194,6 +222,53 @@ func run(args []string, out *os.File) error {
 	}
 	svc.Close()
 	return <-errc
+}
+
+// boot brings the registry to its serving state: warm-boot everything
+// the store holds, then train and deploy whichever requested models
+// were not restored. Models restored from the store are NOT retrained
+// — that is the point of the store.
+func boot(cfg config, svc *service.Service, out io.Writer) error {
+	restored, err := svc.WarmBoot()
+	if err != nil {
+		return err
+	}
+	deployed := make(map[string]bool, len(restored))
+	for _, info := range restored {
+		// A store trained for another task must not be served under
+		// this -task silently: the operator would read error-class
+		// answers as session predictions.
+		if info.Task != cfg.task.String() {
+			return fmt.Errorf("serviced: store holds %q trained for %s, but -task is %s (use a different -store-dir or the matching -task)",
+				info.Name, info.Task, cfg.task)
+		}
+		deployed[info.Name] = true
+		fmt.Fprintf(out, "warm-booted %s v%d (%d versions in store)\n", info.Name, info.LiveVersion, info.Versions)
+	}
+
+	var env *experiments.Env
+	for _, name := range cfg.models {
+		if deployed[name] {
+			continue
+		}
+		if env == nil {
+			scale := experiments.SmallScale()
+			scale.SDSSSessions = cfg.sessions
+			env = experiments.NewEnv(scale)
+		}
+		fmt.Fprintf(out, "training %s for %s on %d statements...\n",
+			name, cfg.task, len(env.SDSSSplit.Train))
+		m, err := env.Model(name, cfg.task, experiments.HomoInstance)
+		if err != nil {
+			return err
+		}
+		info, err := svc.Swap(name, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deployed %s v%d (%d replicas)\n", info.Name, info.Version, cfg.replicas)
+	}
+	return nil
 }
 
 func parseTask(s string) (core.Task, error) {

@@ -1,9 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -37,6 +45,14 @@ func TestParseFlags(t *testing.T) {
 		t.Fatalf("pprofAddr = %q", cfg.pprofAddr)
 	}
 
+	cfg, err = parseFlags([]string{"-store-dir", "/tmp/models"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.storeDir != "/tmp/models" {
+		t.Fatalf("storeDir = %q", cfg.storeDir)
+	}
+
 	for _, bad := range [][]string{
 		{"-replicas", "0"},
 		{"-replicas", "-2"},
@@ -48,5 +64,232 @@ func TestParseFlags(t *testing.T) {
 		if _, err := parseFlags(bad); err == nil {
 			t.Errorf("parseFlags(%v) accepted invalid flags", bad)
 		}
+	}
+}
+
+// syncBuffer is an io.Writer safe for the run goroutine to write while
+// the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// freeAddr reserves a loopback port for a serviced instance.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startServiced runs run() in a goroutine and returns its output
+// buffer and exit channel.
+func startServiced(t *testing.T, args []string) (*syncBuffer, chan error) {
+	t.Helper()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(args, out) }()
+	return out, done
+}
+
+// stopServiced delivers SIGTERM (run's own signal handler fields it)
+// and waits for a clean exit.
+func stopServiced(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serviced exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serviced did not exit after SIGTERM")
+	}
+}
+
+// waitLive polls until the named model has a live version.
+func waitLive(t *testing.T, c *client.Client, name string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := c.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		models, err := c.Models(ctx)
+		if err == nil {
+			for _, m := range models {
+				if m.Name == name && m.LiveVersion > 0 {
+					return
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("%s never went live (last models: %+v, err: %v)", name, models, err)
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+var probeStatements = []string{
+	"SELECT TOP 10 objID, ra, dec FROM PhotoObj WHERE r < 22",
+	"SELECT COUNT(*) FROM SpecObj WHERE z > 0.1",
+	"SELECT p.objID FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID",
+	"SELCT broken FROM",
+}
+
+// TestRestartPersistence is the end-to-end durability acceptance test:
+// deploy a model through a real serviced with a store dir, kill the
+// process loop, restart it against the same dir, and require (1) no
+// retraining and (2) bit-identical predictions for a fixed query set.
+func TestRestartPersistence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model end to end")
+	}
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	args := []string{
+		"-addr", addr, "-models", "ccnn", "-task", "error",
+		"-sessions", "200", "-replicas", "1", "-store-dir", dir,
+	}
+	c, err := client.New("http://"+addr, client.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	out1, done1 := startServiced(t, args)
+	waitLive(t, c, "ccnn")
+	if !strings.Contains(out1.String(), "training ccnn") {
+		t.Fatalf("first boot did not train; output:\n%s", out1.String())
+	}
+	before, err := c.PredictBatch(ctx, "ccnn", probeStatements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopServiced(t, done1)
+
+	// Restart against the same store dir on a fresh port.
+	addr2 := freeAddr(t)
+	args[1] = addr2
+	c2, err := client.New("http://"+addr2, client.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	out2, done2 := startServiced(t, args)
+	waitLive(t, c2, "ccnn")
+	if strings.Contains(out2.String(), "training") {
+		t.Fatalf("restart retrained instead of warm-booting; output:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "warm-booted ccnn v1") {
+		t.Fatalf("restart did not warm-boot; output:\n%s", out2.String())
+	}
+	after, err := c2.PredictBatch(ctx, "ccnn", probeStatements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probeStatements {
+		if before[i].Class != after[i].Class || len(before[i].Probs) != len(after[i].Probs) {
+			t.Fatalf("stmt %d: pre-restart %+v, post-restart %+v", i, before[i], after[i])
+		}
+		for cidx := range before[i].Probs {
+			if before[i].Probs[cidx] != after[i].Probs[cidx] {
+				t.Fatalf("stmt %d prob %d: %v != %v (not bit-identical across restart)",
+					i, cidx, before[i].Probs[cidx], after[i].Probs[cidx])
+			}
+		}
+	}
+	stopServiced(t, done2)
+}
+
+// TestRestartTaskMismatch: restarting a store against a different
+// -task must fail loudly instead of silently serving the wrong task's
+// predictions under the new label.
+func TestRestartTaskMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model end to end")
+	}
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	c, err := client.New("http://"+addr, client.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, done := startServiced(t, []string{
+		"-addr", addr, "-models", "ccnn", "-task", "error",
+		"-sessions", "200", "-replicas", "1", "-store-dir", dir,
+	})
+	waitLive(t, c, "ccnn")
+	stopServiced(t, done)
+
+	out2 := &syncBuffer{}
+	err = run([]string{
+		"-addr", freeAddr(t), "-models", "ccnn", "-task", "cpu",
+		"-sessions", "200", "-replicas", "1", "-store-dir", dir,
+	}, out2)
+	if err == nil || !strings.Contains(err.Error(), "-task") {
+		t.Fatalf("restart under a different -task err = %v, want task-mismatch error", err)
+	}
+}
+
+// TestGracefulShutdownDrain checks requests in flight when SIGTERM
+// arrives complete successfully: the listener stops accepting but the
+// drain finishes the admitted work before the pools close.
+func TestGracefulShutdownDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model end to end")
+	}
+	addr := freeAddr(t)
+	_, done := startServiced(t, []string{
+		"-addr", addr, "-models", "ccnn", "-task", "error",
+		"-sessions", "200", "-replicas", "1", "-admission", "block",
+	})
+	c, err := client.New("http://"+addr, client.Options{Timeout: 30 * time.Second, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitLive(t, c, "ccnn")
+
+	// A big batch is in flight while the SIGTERM lands: every admitted
+	// request must still be answered.
+	batch := make([]string, 2000)
+	for i := range batch {
+		batch[i] = probeStatements[i%len(probeStatements)]
+	}
+	resc := make(chan error, 1)
+	go func() {
+		out, err := c.PredictBatch(context.Background(), "ccnn", batch)
+		if err == nil && len(out) != len(batch) {
+			err = context.DeadlineExceeded
+		}
+		resc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the batch reach the server
+	stopServiced(t, done)
+	if err := <-resc; err != nil {
+		t.Fatalf("in-flight batch failed during graceful shutdown: %v", err)
 	}
 }

@@ -1,12 +1,14 @@
 // Service lifecycle: the deployment loop the paper's interactive
-// setting implies — a predictor serving live traffic under request
-// deadlines while a fine-tuned successor is hot-swapped in.
+// setting implies — a model served over the /v1 HTTP API under request
+// deadlines while a fine-tuned successor is hot-swapped in, with the
+// registry persisted so a restart serves the same bits.
 //
-// It trains a character CNN, deploys it as version 1 of a named
-// registry entry, serves concurrent deadline-bounded predictions,
-// fine-tunes the model on fresh data (safe: the registry serves an
-// immutable snapshot), swaps version 2 live mid-traffic with zero
-// downtime, and prints the service metrics.
+// It trains a character CNN, deploys it (with a per-model admission
+// quota) into a durable registry, serves it over HTTP, drives
+// concurrent deadline-bounded traffic through the typed client
+// (retries + hedging on), swaps a fine-tuned v2 live mid-traffic with
+// zero downtime, then simulates a restart: a fresh Service over the
+// same store directory warm-boots v2 and answers bit-identically.
 //
 //	go run ./examples/service
 package main
@@ -15,6 +17,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,51 +40,83 @@ func main() {
 		panic(err)
 	}
 
-	// 2. Register + deploy: the Service stores an immutable snapshot
-	// and serves it from a replica pool. AdmitReject bounds worst-case
-	// latency: full queues reject instead of queueing unboundedly.
-	svc := repro.NewService(repro.ServiceOptions{
-		Serve: repro.ServeOptions{Replicas: 2, Admission: repro.AdmitReject},
-	})
-	defer svc.Close()
-	info, err := svc.Swap("errors", model)
+	// 2. A durable registry: artifacts and live markers land in
+	// storeDir, so step 7 can warm-boot from it.
+	storeDir, err := os.MkdirTemp("", "service-example-*")
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("deployed %s v%d\n", info.Name, info.Version)
+	defer os.RemoveAll(storeDir)
+	store, err := repro.NewDirStore(storeDir)
+	if err != nil {
+		panic(err)
+	}
+	svc := repro.NewService(repro.ServiceOptions{
+		Serve: repro.ServeOptions{Replicas: 2},
+		Store: store,
+	})
+	defer svc.Close()
+	if _, err := svc.WarmBoot(); err != nil { // empty store: flips ready
+		panic(err)
+	}
+	// Per-model admission quota: this deployment rejects (429) beyond a
+	// 64-deep queue instead of queueing unboundedly.
+	info, err := svc.Swap("errors", model, repro.DeployOptions{
+		Admission: repro.AdmissionReject, QueueSize: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deployed %s v%d (store: %s)\n", info.Name, info.Version, storeDir)
 
-	// 3. Serve concurrent traffic with per-request deadlines.
+	// 3. Serve the /v1 API and build the typed client on it: 5ms
+	// per-request deadlines, bounded retries, 2ms hedging.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := &http.Server{Handler: repro.NewServiceHandler(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := repro.NewClient("http://"+ln.Addr().String(), repro.ClientOptions{
+		Timeout: 5 * time.Millisecond,
+		Retries: 2,
+		Hedge:   2 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	// 4. Concurrent deadline-bounded traffic through the client.
 	stmts := make([]string, 0, len(split.Test))
 	for _, item := range split.Test {
 		stmts = append(stmts, item.Statement)
 	}
-	var served, expired atomic.Uint64
+	var served, missed atomic.Uint64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for c := 0; c < 4; c++ {
+	for g := 0; g < 4; g++ {
 		wg.Add(1)
-		go func(c int) {
+		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(c)))
+			rng := rand.New(rand.NewSource(int64(g)))
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
-				_, err := svc.Predict(ctx, "errors", stmts[rng.Intn(len(stmts))])
-				cancel()
-				if err != nil {
-					expired.Add(1)
+				if _, err := c.Predict(context.Background(), "errors", stmts[rng.Intn(len(stmts))]); err != nil {
+					missed.Add(1) // deadline expired or quota rejected
 					continue
 				}
 				served.Add(1)
 			}
-		}(c)
+		}(g)
 	}
 
-	// 4. Fine-tune and hot-swap under that live load. The deployed
+	// 5. Fine-tune and hot-swap under that live load. The deployed
 	// snapshot is immune to FineTune mutating `model`, and Swap drains
 	// v1's in-flight requests before closing it: zero downtime, zero
 	// mixed-weight predictions.
@@ -97,11 +134,43 @@ func main() {
 	close(stop)
 	wg.Wait()
 
-	// 5. Observability.
-	stats, info, err := svc.Stats("errors")
+	// 6. Observability, client- and server-side.
+	st, err := c.Stats(context.Background(), "errors")
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("served=%d deadline-expired=%d\n", served.Load(), expired.Load())
-	fmt.Printf("v%d stats: %s\n", info.LiveVersion, stats)
+	fmt.Printf("client: served=%d missed=%d\n", served.Load(), missed.Load())
+	fmt.Printf("server: v%d stats: %s\n", st.Info.LiveVersion, st.Stats)
+
+	// 7. "Restart": a fresh Service over the same store directory
+	// warm-boots v2 and predicts bit-identically — no retraining.
+	probe := stmts[0]
+	want, err := svc.Predict(context.Background(), "errors", probe)
+	if err != nil {
+		panic(err)
+	}
+	svc.Close()
+	store2, err := repro.NewDirStore(storeDir)
+	if err != nil {
+		panic(err)
+	}
+	svc2 := repro.NewService(repro.ServiceOptions{
+		Serve: repro.ServeOptions{Replicas: 2},
+		Store: store2,
+	})
+	defer svc2.Close()
+	restored, err := svc2.WarmBoot()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("restart: warm-booted %d model(s) from %s\n", len(restored), storeDir)
+	got, err := svc2.Predict(context.Background(), "errors", probe)
+	if err != nil {
+		panic(err)
+	}
+	identical := got.Version == want.Version && len(got.Probs) == len(want.Probs)
+	for i := range want.Probs {
+		identical = identical && got.Probs[i] == want.Probs[i]
+	}
+	fmt.Printf("restart serves v%d, bit-identical predictions: %v\n", got.Version, identical)
 }

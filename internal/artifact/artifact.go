@@ -1,0 +1,335 @@
+// Package artifact defines the durable on-disk representation of a
+// trained model: a versioned, deterministic, checksummed binary format
+// for core.Model snapshots.
+//
+// A model registry that survives process restarts (service.Service
+// over a Store) needs a byte representation whose decode is exact —
+// the paper's models are compared on bit-level prediction agreement
+// between direct and served paths, and a warm-booted server must keep
+// that guarantee across restarts. The format therefore stores raw
+// IEEE-754 bit patterns for every weight (no text round-trip), the
+// full encoder vocabulary in token-id order, and the architecture
+// configuration, so Decode(Encode(m)) predicts bit-identically to m.
+//
+// Layout (all integers little-endian):
+//
+//	magic "REPROMDL" | u32 format version | body | u64 CRC-64/ECMA
+//
+// The body is a fixed field sequence (metadata, architecture config,
+// vocabulary, weight tensors) with length-prefixed strings and
+// arrays; encoding the same model twice yields identical bytes. The
+// trailing checksum covers everything before it. Decoding validates
+// magic, version, and checksum before parsing, bounds-checks every
+// read, and re-validates the decoded state against the architecture's
+// canonical parameter shapes (core.RestoreState), so truncated,
+// corrupted, or adversarial inputs fail with a typed error — never a
+// panic or an unbounded allocation.
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// FormatVersion is the current artifact format version. Decoders
+// reject artifacts from unknown (newer or retired) versions with
+// ErrVersion rather than guessing at their layout.
+const FormatVersion = 1
+
+// magic identifies a model artifact file.
+const magic = "REPROMDL"
+
+// Typed decode failures. All are wrapped with context; match with
+// errors.Is.
+var (
+	// ErrFormat is returned for data that is not a model artifact at
+	// all (bad magic).
+	ErrFormat = errors.New("artifact: not a model artifact")
+	// ErrVersion is returned for artifacts with an unknown format
+	// version.
+	ErrVersion = errors.New("artifact: unsupported format version")
+	// ErrTruncated is returned when the data ends mid-field.
+	ErrTruncated = errors.New("artifact: truncated")
+	// ErrChecksum is returned when the trailing CRC does not match the
+	// content.
+	ErrChecksum = errors.New("artifact: checksum mismatch")
+)
+
+// archKind tags the architecture section.
+const (
+	archCNN  byte = 1
+	archLSTM byte = 2
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Encode serializes a trained neural model (ccnn, wcnn, clstm, wlstm)
+// into the artifact format. Encoding is deterministic: the same model
+// always yields the same bytes. Baseline and TF-IDF models are not
+// serializable and return an error.
+func Encode(m *core.Model) ([]byte, error) {
+	st, err := m.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	var e encoder
+	e.bytes([]byte(magic))
+	e.u32(FormatVersion)
+	e.str(st.Name)
+	e.u32(uint32(st.Task))
+	e.u32(uint32(st.Version))
+	e.u64(uint64(st.V))
+	e.u64(uint64(st.P))
+	e.f64(st.LogMin)
+	e.u32(uint32(st.MaxLen))
+	e.u64(uint64(st.Seed))
+	switch {
+	case st.CNN != nil:
+		cfg := st.CNN
+		e.byte(archCNN)
+		e.u64(uint64(cfg.Vocab))
+		e.u32(uint32(cfg.Embed))
+		e.u32(uint32(cfg.Kernels))
+		e.u32(uint32(cfg.Outputs))
+		e.f64(cfg.Dropout)
+		e.u32(uint32(len(cfg.Widths)))
+		for _, w := range cfg.Widths {
+			e.u32(uint32(w))
+		}
+	case st.LSTM != nil:
+		cfg := st.LSTM
+		e.byte(archLSTM)
+		e.u64(uint64(cfg.Vocab))
+		e.u32(uint32(cfg.Embed))
+		e.u32(uint32(cfg.Hidden))
+		e.u32(uint32(cfg.Layers))
+		e.u32(uint32(cfg.Outputs))
+	default:
+		return nil, fmt.Errorf("artifact: encode %q: state carries no architecture config", st.Name)
+	}
+	e.u64(uint64(len(st.Vocab)))
+	for _, tok := range st.Vocab {
+		e.str(tok)
+	}
+	e.u32(uint32(len(st.Params)))
+	for _, p := range st.Params {
+		e.str(p.Name)
+		e.u64(uint64(len(p.W)))
+		for _, v := range p.W {
+			e.u64(math.Float64bits(v))
+		}
+	}
+	e.u64(crc64.Checksum(e.buf, crcTable))
+	return e.buf, nil
+}
+
+// Decode parses an artifact back into a ready-to-predict model whose
+// predictions are bit-identical to the encoded snapshot's. It returns
+// ErrFormat, ErrVersion, ErrTruncated, or ErrChecksum (wrapped, match
+// with errors.Is) for invalid data, and never panics on any input.
+func Decode(data []byte) (*core.Model, error) {
+	st, version, err := decodeState(data)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.RestoreState(st)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: decode (format v%d): %w", version, err)
+	}
+	return m, nil
+}
+
+// decodeState parses and structurally validates the byte format,
+// returning the snapshot state and the artifact's format version.
+func decodeState(data []byte) (*core.SnapshotState, uint32, error) {
+	if len(data) < len(magic) {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, 0, ErrFormat
+	}
+	// len(magic) + version + checksum is the smallest conceivable file.
+	if len(data) < len(magic)+4+8 {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	version := binary.LittleEndian.Uint32(data[len(magic):])
+	if version != FormatVersion {
+		return nil, 0, fmt.Errorf("%w: %d (decoder supports %d)", ErrVersion, version, FormatVersion)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(trailer) {
+		return nil, 0, ErrChecksum
+	}
+	d := decoder{buf: body, off: len(magic) + 4}
+	st := &core.SnapshotState{}
+	st.Name = d.str()
+	st.Task = core.Task(d.u32())
+	st.Version = int(d.u32())
+	st.V = d.sizeU64()
+	st.P = d.sizeU64()
+	st.LogMin = d.f64()
+	st.MaxLen = int(d.u32())
+	st.Seed = int64(d.u64())
+	switch d.byte() {
+	case archCNN:
+		cfg := &nn.CNNConfig{}
+		cfg.Vocab = d.sizeU64()
+		cfg.Embed = int(d.u32())
+		cfg.Kernels = int(d.u32())
+		cfg.Outputs = int(d.u32())
+		cfg.Dropout = d.f64()
+		nWidths := int(d.u32())
+		// Each width takes 4 bytes: an honest count fits the remainder.
+		if d.err == nil && nWidths > d.remaining()/4 {
+			d.fail()
+		}
+		for i := 0; i < nWidths && d.err == nil; i++ {
+			cfg.Widths = append(cfg.Widths, int(d.u32()))
+		}
+		st.CNN = cfg
+	case archLSTM:
+		cfg := &nn.LSTMConfig{}
+		cfg.Vocab = d.sizeU64()
+		cfg.Embed = int(d.u32())
+		cfg.Hidden = int(d.u32())
+		cfg.Layers = int(d.u32())
+		cfg.Outputs = int(d.u32())
+		st.LSTM = cfg
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: unknown architecture tag", ErrFormat)
+		}
+	}
+	nVocab := d.sizeU64()
+	// Each token costs at least its 4-byte length prefix.
+	if d.err == nil && nVocab > d.remaining()/4 {
+		d.fail()
+	}
+	if d.err == nil {
+		st.Vocab = make([]string, 0, nVocab)
+		for i := 0; i < nVocab && d.err == nil; i++ {
+			st.Vocab = append(st.Vocab, d.str())
+		}
+	}
+	nParams := int(d.u32())
+	if d.err == nil && nParams > d.remaining()/(4+8) {
+		d.fail()
+	}
+	for i := 0; i < nParams && d.err == nil; i++ {
+		var p core.ParamState
+		p.Name = d.str()
+		n := d.sizeU64()
+		if d.err == nil && n > d.remaining()/8 {
+			d.fail()
+		}
+		if d.err != nil {
+			break
+		}
+		p.W = make([]float64, n)
+		for k := range p.W {
+			p.W[k] = d.f64()
+		}
+		st.Params = append(st.Params, p)
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if d.off != len(body) {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(body)-d.off)
+	}
+	return st, version, nil
+}
+
+// encoder appends little-endian fields to a growing buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) bytes(b []byte) { e.buf = append(e.buf, b...) }
+func (e *encoder) byte(b byte)    { e.buf = append(e.buf, b) }
+func (e *encoder) u32(v uint32)   { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)   { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) f64(v float64)  { e.u64(math.Float64bits(v)) }
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+// decoder reads little-endian fields with sticky-error bounds checks:
+// the first out-of-bounds read records ErrTruncated and every
+// subsequent read returns zero values, so decode logic stays linear.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w at offset %d", ErrTruncated, d.off)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.remaining() < n {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// sizeU64 reads a u64 used as a count or dimension, rejecting values
+// that cannot fit in an int (they could never be honest sizes).
+func (d *decoder) sizeU64() int {
+	v := d.u64()
+	if d.err == nil && v > math.MaxInt32 {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err == nil && int64(n) > int64(d.remaining()) {
+		d.fail()
+		return ""
+	}
+	return string(d.take(int(n)))
+}

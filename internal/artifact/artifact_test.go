@@ -1,0 +1,282 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// testSplit builds one small fixed workload shared by the tests.
+var testSplit = sync.OnceValue(func() workload.Split {
+	w := synth.NewSDSS(synth.SDSSConfig{Sessions: 300, HitsPerSessionMax: 2, Seed: 17}).Generate()
+	return workload.RandomSplit(w.Items, 0.1, 0.1, rand.New(rand.NewSource(3)))
+})
+
+// kindTask pairs every serializable model kind with a task, covering
+// both granularities, both architectures, and both head types.
+var kindTask = []struct {
+	kind string
+	task core.Task
+}{
+	{"ccnn", core.ErrorClassification},
+	{"wcnn", core.AnswerSizePrediction},
+	{"clstm", core.CPUTimePrediction},
+	{"wlstm", core.SessionClassification},
+}
+
+// trainedModels trains one tiny model per serializable kind, once.
+var trainedModels = sync.OnceValue(func() map[string]*core.Model {
+	out := make(map[string]*core.Model, len(kindTask))
+	for _, kt := range kindTask {
+		m, err := core.Train(kt.kind, kt.task, testSplit().Train, core.TinyConfig())
+		if err != nil {
+			panic(err)
+		}
+		out[kt.kind] = m
+	}
+	return out
+})
+
+func testStatements(n int) []string {
+	items := testSplit().Test
+	if len(items) > n {
+		items = items[:n]
+	}
+	stmts := make([]string, len(items))
+	for i, item := range items {
+		stmts[i] = item.Statement
+	}
+	return stmts
+}
+
+// predictions snapshots a model's outputs over stmts: the full
+// distribution for classification, the log-space value for regression.
+func predictions(m *core.Model, stmts []string) [][]float64 {
+	out := make([][]float64, len(stmts))
+	for i, stmt := range stmts {
+		if m.Task.IsClassification() {
+			out[i] = m.Probs(stmt)
+		} else {
+			out[i] = []float64{m.PredictLog(stmt)}
+		}
+	}
+	return out
+}
+
+// TestRoundTripAllKinds is the core contract: for every serializable
+// model kind, Decode(Encode(m)) yields a model whose predictions are
+// bit-identical to the source and whose metadata survives.
+func TestRoundTripAllKinds(t *testing.T) {
+	stmts := testStatements(30)
+	for _, kt := range kindTask {
+		t.Run(kt.kind, func(t *testing.T) {
+			m := trainedModels()[kt.kind]
+			data, err := Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != m.Name || got.Task != m.Task || got.V != m.V || got.P != m.P ||
+				got.Version != m.Version || got.LogMin != m.LogMin {
+				t.Fatalf("metadata: got %+v header, want %+v", got, m)
+			}
+			want := predictions(m, stmts)
+			have := predictions(got, stmts)
+			for i := range stmts {
+				if len(want[i]) != len(have[i]) {
+					t.Fatalf("stmt %d: prediction arity %d vs %d", i, len(have[i]), len(want[i]))
+				}
+				for c := range want[i] {
+					if want[i][c] != have[i][c] {
+						t.Fatalf("stmt %d output %d: decoded %v, source %v (not bit-identical)",
+							i, c, have[i][c], want[i][c])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeDeterministic checks the format's determinism claim: the
+// same model encodes to identical bytes, and so does its decoded copy.
+func TestEncodeDeterministic(t *testing.T) {
+	m := trainedModels()["ccnn"]
+	a, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same model differ")
+	}
+	decoded, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Encode(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("re-encoding a decoded model changed the bytes")
+	}
+}
+
+// TestVersionMetadataSurvives checks a registry-stamped snapshot keeps
+// its version through the artifact round trip (restart rollback relies
+// on it).
+func TestVersionMetadataSurvives(t *testing.T) {
+	snap := trainedModels()["ccnn"].Snapshot()
+	snap.Version = 7
+	data, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 7 {
+		t.Fatalf("Version = %d, want 7", got.Version)
+	}
+}
+
+// TestRejectTruncated feeds every prefix family of a valid artifact to
+// Decode: all must fail with a typed error and none may panic.
+func TestRejectTruncated(t *testing.T) {
+	data, err := Encode(trainedModels()["wcnn"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 1, len(magic) - 1, len(magic), len(magic) + 2, len(magic) + 4}
+	for n := len(magic) + 5; n < len(data); n += 97 {
+		cuts = append(cuts, n)
+	}
+	cuts = append(cuts, len(data)-1)
+	for _, n := range cuts {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("Decode accepted a %d-byte truncation of a %d-byte artifact", n, len(data))
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrFormat) {
+			t.Fatalf("truncation to %d: unexpected error type %v", n, err)
+		}
+	}
+}
+
+// TestRejectCorrupt covers bad magic, checksum mismatches from single
+// flipped bytes, and unknown format versions.
+func TestRejectCorrupt(t *testing.T) {
+	data, err := Encode(trainedModels()["clstm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte("NOTMODEL"), data[len(magic):]...)
+	if _, err := Decode(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic err = %v, want ErrFormat", err)
+	}
+
+	for _, off := range []int{len(magic) + 4, len(data) / 2, len(data) - 9} {
+		flipped := append([]byte(nil), data...)
+		flipped[off] ^= 0x40
+		if _, err := Decode(flipped); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d err = %v, want ErrChecksum", off, err)
+		}
+	}
+
+	newer := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(newer[len(magic):], FormatVersion+1)
+	resum(newer)
+	if _, err := Decode(newer); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version err = %v, want ErrVersion", err)
+	}
+}
+
+// TestRejectInconsistentState corrupts semantically (valid checksum,
+// invalid model): the task field is rewritten so the architecture's
+// output arity no longer matches. Decode must reject it cleanly.
+func TestRejectInconsistentState(t *testing.T) {
+	data, err := Encode(trainedModels()["ccnn"]) // error classification
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field layout: magic, u32 version, u32 name length, name bytes,
+	// u32 task.
+	taskOff := len(magic) + 4 + 4 + len("ccnn")
+	patched := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(patched[taskOff:], uint32(core.CPUTimePrediction))
+	resum(patched)
+	if _, err := Decode(patched); err == nil {
+		t.Fatal("Decode accepted a classification network relabeled as regression")
+	}
+
+	// An absurd task id must be rejected too.
+	binary.LittleEndian.PutUint32(patched[taskOff:], 999)
+	resum(patched)
+	if _, err := Decode(patched); err == nil {
+		t.Fatal("Decode accepted an unknown task id")
+	}
+}
+
+// TestEncodeNonNeural checks the unserializable models fail loudly.
+func TestEncodeNonNeural(t *testing.T) {
+	m, err := core.Train("mfreq", core.ErrorClassification, testSplit().Train, core.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("Encode accepted the mfreq baseline")
+	}
+	tm, err := core.Train("ctfidf", core.ErrorClassification, testSplit().Train, core.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(tm); err == nil {
+		t.Fatal("Encode accepted a TF-IDF model")
+	}
+}
+
+// resum rewrites data's trailing CRC to match its (patched) content.
+func resum(data []byte) {
+	body := data[:len(data)-8]
+	binary.LittleEndian.PutUint64(data[len(data)-8:], crc64.Checksum(body, crcTable))
+}
+
+// FuzzDecode asserts Decode is total: any byte string either decodes
+// or fails with an error — no panics, no runaway allocations. The
+// corpus seeds valid artifacts of both architectures plus structured
+// corruptions; the fuzzer mutates from there.
+func FuzzDecode(f *testing.F) {
+	for _, kind := range []string{"ccnn", "clstm"} {
+		data, err := Encode(trainedModels()[kind])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		mangled := append([]byte(nil), data...)
+		mangled[len(mangled)/3] ^= 0xff
+		f.Add(mangled)
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err == nil && m == nil {
+			t.Fatal("nil model with nil error")
+		}
+	})
+}

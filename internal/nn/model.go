@@ -72,6 +72,11 @@ type cnnCache struct {
 	dxs     [][]float64
 }
 
+// Config returns the architecture configuration the model was built
+// with — the serialization hook a model artifact stores so the exact
+// network can be reconstructed in another process.
+func (m *CNNModel) Config() CNNConfig { return m.cfg }
+
 // CloneShared implements ParallelModel.
 func (m *CNNModel) CloneShared() Model {
 	c := &CNNModel{cfg: m.cfg, Drop: Dropout{P: m.Drop.P}}
@@ -177,6 +182,10 @@ type lstmModelCache struct {
 	layerCaches []*LSTMCache
 	last        []float64 // final hidden state of the top layer
 }
+
+// Config returns the architecture configuration the model was built
+// with (see CNNModel.Config).
+func (m *LSTMModel) Config() LSTMConfig { return m.cfg }
 
 // CloneShared implements ParallelModel.
 func (m *LSTMModel) CloneShared() Model {

@@ -14,18 +14,23 @@ import (
 //
 //	POST /v1/predict  {"model","statement"|"statements",["deadline_ms"]}
 //	GET  /v1/models
-//	POST /v1/deploy   {"model",["version"]}
+//	POST /v1/deploy   {"model",["version"],["admission"],["queue_size"],["replicas"]}
 //	GET  /v1/stats?model=NAME
+//	GET  /v1/healthz
 //
 // Request contexts propagate end to end: a client disconnect or a
 // deadline_ms expiry cancels the prediction while it is queued, and
-// admission-control rejections surface as 429s.
+// admission-control rejections surface as 429s attributed to the
+// rejecting model's stats. /v1/healthz is the readiness probe: 503
+// until the store warm-boot finishes (and after Close), 200 once the
+// service is ready to take traffic.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(s, w, r) })
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) { handleModels(s, w, r) })
 	mux.HandleFunc("/v1/deploy", func(w http.ResponseWriter, r *http.Request) { handleDeploy(s, w, r) })
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(s, w, r) })
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(s, w, r) })
 	return mux
 }
 
@@ -47,6 +52,9 @@ type predictResponse struct {
 type deployRequest struct {
 	Model   string `json:"model"`
 	Version int    `json:"version,omitempty"` // 0 = latest
+	// Per-deployment pool overrides (the per-model admission quota):
+	// zero values inherit the service-wide template.
+	DeployOptions
 }
 
 type statsResponse struct {
@@ -119,12 +127,33 @@ func handleDeploy(s *Service, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("model required"))
 		return
 	}
-	info, err := s.Deploy(req.Model, req.Version)
+	if _, err := req.DeployOptions.apply(s.opts.Serve); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.Deploy(req.Model, req.Version, req.DeployOptions)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// healthzResponse is the readiness probe body.
+type healthzResponse struct {
+	Status string `json:"status"`
+}
+
+func handleHealthz(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "warming up"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
 }
 
 func handleStats(s *Service, w http.ResponseWriter, r *http.Request) {

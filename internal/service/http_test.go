@@ -157,6 +157,75 @@ func TestHTTPDeploy(t *testing.T) {
 	}
 }
 
+// TestHTTPHealthz checks the readiness probe lifecycle: 503 while a
+// store-backed service has not warm-booted, 200 once it has, 503 again
+// after Close.
+func TestHTTPHealthz(t *testing.T) {
+	s := New(Options{Serve: serve.Options{Replicas: 1}, Store: NewMemStore()})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	get := func() (int, healthzResponse) {
+		resp, err := http.Get(srv.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, decodeJSON[healthzResponse](t, resp)
+	}
+	if code, body := get(); code != http.StatusServiceUnavailable || body.Status != "warming up" {
+		t.Fatalf("pre-boot healthz = %d %+v", code, body)
+	}
+	if _, err := s.WarmBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(); code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("post-boot healthz = %d %+v", code, body)
+	}
+	s.Close()
+	if code, _ := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close healthz = %d", code)
+	}
+	if resp, _ := http.Post(srv.URL+"/v1/healthz", "application/json", strings.NewReader("{}")); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("healthz POST = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPDeployQuota checks per-model admission quotas plumb through
+// /v1/deploy and come back out of /v1/models and /v1/stats.
+func TestHTTPDeployQuota(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/deploy", deployRequest{
+		Model: "errors",
+		DeployOptions: DeployOptions{
+			Admission: AdmissionReject, QueueSize: 7, Replicas: 1,
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	info := decodeJSON[ModelInfo](t, resp)
+	if info.Deploy.Admission != AdmissionReject || info.Deploy.QueueSize != 7 {
+		t.Fatalf("deploy info = %+v", info)
+	}
+	sresp, err := http.Get(srv.URL + "/v1/stats?model=errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[statsResponse](t, sresp)
+	if st.Info.Deploy.Admission != AdmissionReject || st.Info.Deploy.QueueSize != 7 {
+		t.Fatalf("stats deploy info = %+v", st.Info)
+	}
+
+	bad := postJSON(t, srv.URL+"/v1/deploy", deployRequest{
+		Model:         "errors",
+		DeployOptions: DeployOptions{Admission: "maybe"},
+	})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad admission status = %d", bad.StatusCode)
+	}
+	bad.Body.Close()
+}
+
 // TestHTTPErrorMapping checks error → status mapping: bad JSON, bad
 // methods, unknown models, missing fields.
 func TestHTTPErrorMapping(t *testing.T) {

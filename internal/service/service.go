@@ -12,16 +12,28 @@
 // it live; requests racing a swap retry transparently onto the new
 // pool, so no request is dropped and every request runs entirely on
 // one snapshot's weights — results are never a mix of two versions.
+//
+// With a Store configured, the registry is durable: Register writes
+// each snapshot through internal/artifact as a checksummed binary
+// blob, Deploy records the live version and its per-deployment
+// options, and WarmBoot replays the store after a restart — every
+// version is reloadable (rollback works across restarts) and the
+// reloaded models predict bit-identically to the process that trained
+// them.
 package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/serve"
@@ -44,7 +56,61 @@ var ErrClosed = fmt.Errorf("service: closed: %w", serve.ErrClosed)
 type Options struct {
 	// Serve is the replica-pool template applied to every deployed
 	// version (replica count, queue size, batching, admission policy).
+	// Individual deployments can override the admission policy, queue
+	// bound, and replica count via DeployOptions.
 	Serve serve.Options
+	// Store, when non-nil, makes the registry durable: every Register
+	// persists the snapshot's artifact, every Deploy persists the live
+	// version and its options, and WarmBoot reloads both after a
+	// restart. nil keeps the registry memory-only.
+	Store Store
+}
+
+// Admission policy names for DeployOptions and the HTTP API. The empty
+// string inherits the service-wide template.
+const (
+	AdmissionInherit = ""
+	AdmissionBlock   = "block"
+	AdmissionReject  = "reject"
+)
+
+// DeployOptions are per-deployment overrides of the service-wide
+// replica-pool template — the per-model admission quotas of a
+// multi-tenant server: one model can reject under overload (bounded
+// worst-case latency, attributable 429s in its own Stats) while
+// another backpressures.
+type DeployOptions struct {
+	// Replicas overrides the template replica count when > 0.
+	Replicas int `json:"replicas,omitempty"`
+	// QueueSize bounds this deployment's request queue when > 0 (the
+	// admission quota: requests beyond it are rejected or blocked per
+	// Admission).
+	QueueSize int `json:"queue_size,omitempty"`
+	// Admission selects this deployment's full-queue policy:
+	// AdmissionBlock, AdmissionReject, or AdmissionInherit ("") for the
+	// template's.
+	Admission string `json:"admission,omitempty"`
+}
+
+// apply resolves the overrides against the template.
+func (o DeployOptions) apply(base serve.Options) (serve.Options, error) {
+	if o.Replicas > 0 {
+		base.Replicas = o.Replicas
+	}
+	if o.QueueSize > 0 {
+		base.QueueSize = o.QueueSize
+	}
+	switch o.Admission {
+	case AdmissionInherit:
+	case AdmissionBlock:
+		base.Admission = serve.AdmitBlock
+	case AdmissionReject:
+		base.Admission = serve.AdmitReject
+	default:
+		return base, fmt.Errorf("service: unknown admission policy %q (want %q or %q)",
+			o.Admission, AdmissionBlock, AdmissionReject)
+	}
+	return base, nil
 }
 
 // ModelInfo describes one registered model at one version.
@@ -65,6 +131,10 @@ type ModelInfo struct {
 	// registry listings LiveVersion is the deployed version (0 = none).
 	Live        bool `json:"live"`
 	LiveVersion int  `json:"live_version"`
+	// Deploy holds the live deployment's per-model overrides (zero
+	// value = the service-wide template), so quota configuration is
+	// visible wherever 429s are attributed.
+	Deploy DeployOptions `json:"deploy,omitzero"`
 }
 
 // Prediction is one task-appropriate prediction with its provenance:
@@ -85,9 +155,11 @@ type Prediction struct {
 }
 
 // livePool is one deployed version: a predictor pool bound to an
-// immutable snapshot. Swaps replace the whole struct atomically.
+// immutable snapshot, plus the per-deployment options it was started
+// with. Swaps replace the whole struct atomically.
 type livePool struct {
 	version int
+	opts    DeployOptions
 	pred    *serve.Predictor
 }
 
@@ -108,14 +180,33 @@ type entry struct {
 type Service struct {
 	opts Options
 
+	// ready reports warm-boot completion for the health endpoint: a
+	// store-backed service is not ready until WarmBoot has replayed the
+	// store (predictions against already-deployed models work either
+	// way; readiness is the load balancer's signal).
+	ready atomic.Bool
+
 	mu      sync.RWMutex // guards entries map and closed
 	entries map[string]*entry
 	closed  bool
 }
 
-// New creates an empty Service.
+// New creates an empty Service. A store-backed service (Options.Store
+// non-nil) should WarmBoot next — it replays previously persisted
+// models and flips the service ready; without a store the service is
+// born ready.
 func New(opts Options) *Service {
-	return &Service{opts: opts, entries: make(map[string]*entry)}
+	s := &Service{opts: opts, entries: make(map[string]*entry)}
+	s.ready.Store(opts.Store == nil)
+	return s
+}
+
+// Ready reports whether the service finished warm-booting and is not
+// closed — the /v1/healthz contract.
+func (s *Service) Ready() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ready.Load() && !s.closed
 }
 
 // Register stores an immutable snapshot of m under name and returns
@@ -123,7 +214,16 @@ func New(opts Options) *Service {
 // later versions must match both (a registry name is one predictor
 // contract, not a grab bag). Registering does not serve the version —
 // call Deploy (or Swap, which does both).
+//
+// On a store-backed service the snapshot's artifact is persisted
+// before the version becomes visible; a persistence failure (including
+// registering a model kind the artifact format cannot serialize) fails
+// the Register, so the store and the in-memory registry never
+// disagree.
 func (s *Service) Register(name string, m *core.Model) (ModelInfo, error) {
+	if name == "" {
+		return ModelInfo{}, errors.New("service: register: empty model name")
+	}
 	if m == nil {
 		return ModelInfo{}, fmt.Errorf("service: register %q: nil model", name)
 	}
@@ -147,6 +247,15 @@ func (s *Service) Register(name string, m *core.Model) (ModelInfo, error) {
 	}
 	snap := m.Snapshot()
 	snap.Version = len(e.versions) + 1
+	if s.opts.Store != nil {
+		data, err := artifact.Encode(snap)
+		if err != nil {
+			return ModelInfo{}, fmt.Errorf("service: register %q: %w", name, err)
+		}
+		if err := s.opts.Store.Put(artifactKey(name, snap.Version), data); err != nil {
+			return ModelInfo{}, fmt.Errorf("service: register %q: persist v%d: %w", name, snap.Version, err)
+		}
+	}
 	e.versions = append(e.versions, snap)
 	return e.info(snap.Version), nil
 }
@@ -154,9 +263,26 @@ func (s *Service) Register(name string, m *core.Model) (ModelInfo, error) {
 // Deploy makes the given version of name live, starting a fresh
 // replica pool over its snapshot and atomically swapping it in; the
 // previous pool finishes its in-flight requests and is closed.
-// version <= 0 selects the latest. Requests racing the swap retry onto
-// the new pool, so a deploy drops nothing.
-func (s *Service) Deploy(name string, version int) (ModelInfo, error) {
+// version <= 0 selects the latest. At most one DeployOptions may be
+// given; it overrides the service-wide pool template (admission
+// policy, queue bound, replicas) for this deployment only. Requests
+// racing the swap retry onto the new pool, so a deploy drops nothing.
+//
+// On a store-backed service the live version and its options are
+// persisted before the swap, so a later WarmBoot redeploys exactly
+// this deployment.
+func (s *Service) Deploy(name string, version int, opts ...DeployOptions) (ModelInfo, error) {
+	var dopts DeployOptions
+	if len(opts) > 1 {
+		return ModelInfo{}, fmt.Errorf("service: deploy %q: at most one DeployOptions", name)
+	}
+	if len(opts) == 1 {
+		dopts = opts[0]
+	}
+	serveOpts, err := dopts.apply(s.opts.Serve)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("service: deploy %q: %w", name, err)
+	}
 	e, err := s.entry(name)
 	if err != nil {
 		return ModelInfo{}, err
@@ -181,9 +307,22 @@ func (s *Service) Deploy(name string, version int) (ModelInfo, error) {
 	if closed {
 		return ModelInfo{}, ErrClosed
 	}
+	// Persist intent first: if the marker cannot be written the old
+	// pool keeps serving and the store never claims a deployment that
+	// did not happen.
+	if s.opts.Store != nil {
+		rec, err := json.Marshal(liveRecord{Version: version, DeployOptions: dopts})
+		if err != nil {
+			return ModelInfo{}, fmt.Errorf("service: deploy %q: %w", name, err)
+		}
+		if err := s.opts.Store.Put(liveKey(name), rec); err != nil {
+			return ModelInfo{}, fmt.Errorf("service: deploy %q: persist live marker: %w", name, err)
+		}
+	}
 	next := &livePool{
 		version: version,
-		pred:    serve.NewPredictor(e.versions[version-1], s.opts.Serve),
+		opts:    dopts,
+		pred:    serve.NewPredictor(e.versions[version-1], serveOpts),
 	}
 	prev := e.live.Swap(next)
 	if prev != nil {
@@ -193,13 +332,24 @@ func (s *Service) Deploy(name string, version int) (ModelInfo, error) {
 }
 
 // Swap registers m as a new version and deploys it in one step — the
-// FineTune → redeploy one-liner.
-func (s *Service) Swap(name string, m *core.Model) (ModelInfo, error) {
+// FineTune → redeploy one-liner. Optional DeployOptions as in Deploy.
+func (s *Service) Swap(name string, m *core.Model, opts ...DeployOptions) (ModelInfo, error) {
+	// Validate the deploy options before registering: a bad option
+	// must not leave an orphaned (and, on a durable registry,
+	// persisted) version behind a failed Swap.
+	if len(opts) > 1 {
+		return ModelInfo{}, fmt.Errorf("service: swap %q: at most one DeployOptions", name)
+	}
+	if len(opts) == 1 {
+		if _, err := opts[0].apply(s.opts.Serve); err != nil {
+			return ModelInfo{}, fmt.Errorf("service: swap %q: %w", name, err)
+		}
+	}
 	info, err := s.Register(name, m)
 	if err != nil {
 		return ModelInfo{}, err
 	}
-	return s.Deploy(name, info.Version)
+	return s.Deploy(name, info.Version, opts...)
 }
 
 // Predict runs the task-appropriate prediction for name's live
@@ -383,6 +533,165 @@ func (s *Service) Close() {
 	}
 }
 
+// Store key schema. Artifact blobs live under "v<version>/<name>",
+// live-deployment markers under "live/<name>"; the version segment is
+// numeric, so the two namespaces cannot collide whatever the model
+// name contains.
+func artifactKey(name string, version int) string {
+	return "v" + strconv.Itoa(version) + "/" + name
+}
+
+func liveKey(name string) string { return "live/" + name }
+
+// parseKey classifies a store key: an artifact key yields (name,
+// version, true, true); a live marker yields (name, 0, false, true).
+// Foreign keys report ok == false and are ignored by WarmBoot.
+func parseKey(key string) (name string, version int, isArtifact, ok bool) {
+	head, rest, found := strings.Cut(key, "/")
+	if !found || rest == "" {
+		return "", 0, false, false
+	}
+	if head == "live" {
+		return rest, 0, false, true
+	}
+	if len(head) < 2 || head[0] != 'v' {
+		return "", 0, false, false
+	}
+	v, err := strconv.Atoi(head[1:])
+	if err != nil || v <= 0 {
+		return "", 0, false, false
+	}
+	return rest, v, true, true
+}
+
+// liveRecord is the persisted live-deployment marker: which version
+// serves, under which per-deployment options.
+type liveRecord struct {
+	Version int `json:"version"`
+	DeployOptions
+}
+
+// WarmBoot replays the configured store into an empty registry: every
+// persisted version is decoded (checksums verified) and reinstalled
+// under its original version number, and each model's recorded live
+// deployment is restarted with its recorded options. On success the
+// service reports Ready. Models never deployed stay registered but
+// cold, exactly as before the restart; rollback to any persisted
+// version keeps working because all versions are reloaded, not just
+// the live ones.
+//
+// Without a store WarmBoot only flips the service ready. It must run
+// before the first Register (the registry must be empty so persisted
+// version numbers cannot collide with fresh ones).
+func (s *Service) WarmBoot() ([]ModelInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(s.entries) != 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: warm boot requires an empty registry (%d entries present)", len(s.entries))
+	}
+	s.mu.Unlock()
+	if s.opts.Store == nil {
+		s.ready.Store(true)
+		return nil, nil
+	}
+	keys, err := s.opts.Store.List()
+	if err != nil {
+		return nil, fmt.Errorf("service: warm boot: %w", err)
+	}
+	versions := make(map[string][]int)
+	live := make(map[string]liveRecord)
+	for _, key := range keys {
+		name, v, isArtifact, ok := parseKey(key)
+		if !ok {
+			continue // not one of ours (README in the store dir, ...)
+		}
+		if !isArtifact {
+			data, err := s.opts.Store.Get(key)
+			if err != nil {
+				return nil, fmt.Errorf("service: warm boot: %w", err)
+			}
+			var rec liveRecord
+			if err := json.Unmarshal(data, &rec); err != nil {
+				return nil, fmt.Errorf("service: warm boot: live marker %q: %w", key, err)
+			}
+			live[name] = rec
+			continue
+		}
+		versions[name] = append(versions[name], v)
+	}
+
+	// Rebuild each entry's full version history in order.
+	names := make([]string, 0, len(versions))
+	for name := range versions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vs := versions[name]
+		sort.Ints(vs)
+		e := &entry{name: name}
+		for i, v := range vs {
+			if v != i+1 {
+				return nil, fmt.Errorf("service: warm boot: %q versions are not contiguous (missing v%d)", name, i+1)
+			}
+			data, err := s.opts.Store.Get(artifactKey(name, v))
+			if err != nil {
+				return nil, fmt.Errorf("service: warm boot: %w", err)
+			}
+			m, err := artifact.Decode(data)
+			if err != nil {
+				return nil, fmt.Errorf("service: warm boot: %q v%d: %w", name, v, err)
+			}
+			if m.Version != v {
+				return nil, fmt.Errorf("service: warm boot: %q v%d: artifact claims version %d", name, v, m.Version)
+			}
+			if i == 0 {
+				e.task, e.kind = m.Task, m.Name
+			} else if m.Task != e.task || m.Name != e.kind {
+				return nil, fmt.Errorf("service: warm boot: %q v%d: %s/%s does not match entry %s/%s",
+					name, v, m.Name, m.Task, e.kind, e.task)
+			}
+			e.versions = append(e.versions, m)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		s.entries[name] = e
+		s.mu.Unlock()
+	}
+
+	// A live marker whose model has no artifacts means lost data; fail
+	// as loudly as a version gap would, instead of reporting a healthy
+	// boot that silently 404s a recorded deployment.
+	for name := range live {
+		if _, ok := versions[name]; !ok {
+			return nil, fmt.Errorf("service: warm boot: live marker for %q but no artifacts", name)
+		}
+	}
+
+	// Restart the recorded live deployments.
+	infos := make([]ModelInfo, 0, len(live))
+	for _, name := range names {
+		rec, ok := live[name]
+		if !ok {
+			continue
+		}
+		info, err := s.Deploy(name, rec.Version, rec.DeployOptions)
+		if err != nil {
+			return nil, fmt.Errorf("service: warm boot: redeploy %q v%d: %w", name, rec.Version, err)
+		}
+		infos = append(infos, info)
+	}
+	s.ready.Store(true)
+	return infos, nil
+}
+
 // entry looks a registry slot up.
 func (s *Service) entry(name string) (*entry, error) {
 	s.mu.RLock()
@@ -401,8 +710,10 @@ func (s *Service) entry(name string) (*entry, error) {
 // entry as a whole). Callers hold e.mu or tolerate a racy Versions.
 func (e *entry) info(version int) ModelInfo {
 	liveV := 0
+	var deploy DeployOptions
 	if lp := e.live.Load(); lp != nil {
 		liveV = lp.version
+		deploy = lp.opts
 	}
 	if version == 0 {
 		version = len(e.versions)
@@ -412,6 +723,7 @@ func (e *entry) info(version int) ModelInfo {
 		Classification: e.task.IsClassification(),
 		Version:        version, Versions: len(e.versions),
 		Live: liveV == version && liveV != 0, LiveVersion: liveV,
+		Deploy: deploy,
 	}
 }
 

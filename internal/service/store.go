@@ -1,0 +1,202 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoKey is returned by Store.Get for a key that was never Put (or
+// was Deleted).
+var ErrNoKey = errors.New("service: store key not found")
+
+// Store is the registry's pluggable persistence: an opaque blob store
+// keyed by strings. The Service writes one blob per registered model
+// version (the encoded artifact) plus one small live-deployment marker
+// per model name, and replays them on WarmBoot, so a restarted process
+// serves bit-identical predictions without retraining.
+//
+// Implementations must be safe for concurrent use and durable to the
+// degree they claim: MemStore survives nothing (tests, ephemeral
+// registries), DirStore survives process restarts. Put must be
+// atomic — a reader never observes a half-written blob.
+type Store interface {
+	// Put stores data under key, replacing any previous value.
+	Put(key string, data []byte) error
+	// Get returns the value for key, or an error wrapping ErrNoKey.
+	Get(key string) ([]byte, error)
+	// List returns every stored key, in unspecified order.
+	List() ([]string, error)
+	// Delete removes key. Deleting an absent key is a no-op.
+	Delete(key string) error
+}
+
+// MemStore is an in-memory Store: the registry behaves identically to
+// a disk-backed one (same code paths, same keys) but persists only for
+// the life of the process. Useful in tests and as the default when no
+// durability is needed.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoKey, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// DirStore is a directory-backed Store: one file per key, with keys
+// URL-escaped into flat file names (no key can escape the directory or
+// collide with another). Writes go through a same-directory temp file
+// and rename, so a crash mid-Put never leaves a torn blob behind —
+// the property the artifact checksum then double-checks on read.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// tmpPrefix marks in-flight temp files so List never reports them.
+const tmpPrefix = ".tmp-"
+
+// Put implements Store (atomic and durable: temp file, fsync, rename,
+// directory fsync — so a post-Put crash can neither tear the blob nor
+// lose the rename).
+func (s *DirStore) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Flush the data blocks before the rename is journaled: without
+	// this, a power loss can leave the final name pointing at a torn
+	// file, which would fail the next WarmBoot's checksum pass.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory so a completed rename survives a
+// crash.
+func (s *DirStore) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNoKey, key)
+	}
+	return data, err
+}
+
+// List implements Store.
+func (s *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if ent.IsDir() || strings.HasPrefix(ent.Name(), tmpPrefix) {
+			continue
+		}
+		key, err := url.PathUnescape(ent.Name())
+		if err != nil {
+			continue // foreign file; not one of ours
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+func (s *DirStore) path(key string) string {
+	return filepath.Join(s.dir, url.PathEscape(key))
+}

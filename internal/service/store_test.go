@@ -1,0 +1,449 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// TestStoreContracts runs the shared Store contract over both
+// implementations: put/get round trips, overwrite, ErrNoKey, listing,
+// delete idempotence, and hostile key strings (path separators,
+// escapes, dots) that a DirStore must not let escape its directory.
+func TestStoreContracts(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]Store{"mem": NewMemStore(), "dir": ds}
+	for label, st := range stores {
+		t.Run(label, func(t *testing.T) {
+			if _, err := st.Get("absent"); !errors.Is(err, ErrNoKey) {
+				t.Fatalf("Get(absent) err = %v, want ErrNoKey", err)
+			}
+			keys := []string{
+				"v1/model",
+				"live/model",
+				"v2/weird/../../name",
+				"live/%2e%2e",
+				"v3/with space and \x01 control",
+			}
+			for i, key := range keys {
+				if err := st.Put(key, []byte{byte(i), 0xff, 0x00}); err != nil {
+					t.Fatalf("Put(%q): %v", key, err)
+				}
+			}
+			for i, key := range keys {
+				data, err := st.Get(key)
+				if err != nil || !bytes.Equal(data, []byte{byte(i), 0xff, 0x00}) {
+					t.Fatalf("Get(%q) = %v, %v", key, data, err)
+				}
+			}
+			if err := st.Put(keys[0], []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if data, _ := st.Get(keys[0]); string(data) != "v2" {
+				t.Fatalf("overwrite lost: %q", data)
+			}
+			listed, err := st.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(listed) != len(keys) {
+				t.Fatalf("List() = %v, want %d keys", listed, len(keys))
+			}
+			seen := make(map[string]bool)
+			for _, k := range listed {
+				seen[k] = true
+			}
+			for _, key := range keys {
+				if !seen[key] {
+					t.Fatalf("List() lost key %q (got %v)", key, listed)
+				}
+			}
+			if err := st.Delete(keys[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete(keys[1]); err != nil {
+				t.Fatalf("second Delete: %v", err)
+			}
+			if _, err := st.Get(keys[1]); !errors.Is(err, ErrNoKey) {
+				t.Fatalf("Get(deleted) err = %v, want ErrNoKey", err)
+			}
+		})
+	}
+
+	// Nothing the DirStore wrote may live outside its directory, and
+	// every name must be flat (escaped, no subdirectories).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			t.Fatalf("DirStore created a subdirectory %q", ent.Name())
+		}
+	}
+	if parent, err := os.ReadDir(filepath.Dir(dir)); err == nil {
+		for _, ent := range parent {
+			if ent.Name() != filepath.Base(dir) && !ent.IsDir() {
+				t.Fatalf("DirStore wrote outside its directory: %q", ent.Name())
+			}
+		}
+	}
+}
+
+// TestDirStoreReopen checks persistence across re-opens of the same
+// directory — the property the registry's restart story is built on.
+func TestDirStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("v1/m", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s2.Get("v1/m")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("reopened Get = %q, %v", data, err)
+	}
+	keys, err := s2.List()
+	if err != nil || len(keys) != 1 || keys[0] != "v1/m" {
+		t.Fatalf("reopened List = %v, %v", keys, err)
+	}
+}
+
+// TestParseKey pins the store key schema both ways.
+func TestParseKey(t *testing.T) {
+	cases := []struct {
+		key        string
+		name       string
+		version    int
+		isArtifact bool
+		ok         bool
+	}{
+		{artifactKey("m", 3), "m", 3, true, true},
+		{artifactKey("a/b", 12), "a/b", 12, true, true},
+		{liveKey("m"), "m", 0, false, true},
+		{liveKey("live"), "live", 0, false, true},
+		{"v0/m", "", 0, false, false},
+		{"vX/m", "", 0, false, false},
+		{"m", "", 0, false, false},
+		{"live/", "", 0, false, false},
+		{"README", "", 0, false, false},
+	}
+	for _, c := range cases {
+		name, version, isArtifact, ok := parseKey(c.key)
+		if name != c.name || version != c.version || isArtifact != c.isArtifact || ok != c.ok {
+			t.Errorf("parseKey(%q) = (%q, %d, %v, %v), want (%q, %d, %v, %v)",
+				c.key, name, version, isArtifact, ok, c.name, c.version, c.isArtifact, c.ok)
+		}
+	}
+}
+
+// TestPersistenceRestart is the durability acceptance test at the
+// library level: a registry built over a DirStore is torn down and a
+// fresh Service over the same directory warm-boots every version,
+// redeploys the recorded live deployment (options included), serves
+// bit-identical predictions, and still supports rollback to any
+// pre-restart version.
+func TestPersistenceRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Serve: serve.Options{Replicas: 1}, Store: store}
+	ctx := context.Background()
+	stmts := testStatements(20)
+
+	s1 := New(opts)
+	if s1.Ready() {
+		t.Fatal("store-backed service claims ready before WarmBoot")
+	}
+	if _, err := s1.WarmBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Ready() {
+		t.Fatal("not ready after empty-store WarmBoot")
+	}
+	m := trainCCNN(t, core.ErrorClassification)
+	if _, err := s1.Swap("errors", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.FineTune(m, testSplit().Valid, core.TinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	dopts := DeployOptions{Admission: AdmissionReject, QueueSize: 64, Replicas: 2}
+	if _, err := s1.Swap("errors", m, dopts); err != nil {
+		t.Fatal(err)
+	}
+	v1 := make([][]float64, len(stmts))
+	v2 := make([][]float64, len(stmts))
+	for i, stmt := range stmts {
+		pr, err := s1.Predict(ctx, "errors", stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2[i] = pr.Probs
+	}
+	if _, err := s1.Deploy("errors", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, stmt := range stmts {
+		pr, err := s1.Predict(ctx, "errors", stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1[i] = pr.Probs
+	}
+	// Leave v2 live (with its quota options) for the restart.
+	if _, err := s1.Deploy("errors", 2, dopts); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// "Restart": a fresh process would re-open the same directory.
+	store2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store2})
+	defer s2.Close()
+	if s2.Ready() {
+		t.Fatal("restarted service claims ready before WarmBoot")
+	}
+	infos, err := s2.WarmBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Ready() {
+		t.Fatal("not ready after WarmBoot")
+	}
+	if len(infos) != 1 {
+		t.Fatalf("warm boot deployed %d models, want 1", len(infos))
+	}
+	info := infos[0]
+	if info.Name != "errors" || info.LiveVersion != 2 || info.Versions != 2 {
+		t.Fatalf("warm boot info = %+v", info)
+	}
+	if info.Deploy != dopts {
+		t.Fatalf("deployment options lost across restart: %+v, want %+v", info.Deploy, dopts)
+	}
+	for i, stmt := range stmts {
+		pr, err := s2.Predict(ctx, "errors", stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Version != 2 {
+			t.Fatalf("post-restart version = %d", pr.Version)
+		}
+		for c := range pr.Probs {
+			if pr.Probs[c] != v2[i][c] {
+				t.Fatal("post-restart predictions are not bit-identical to pre-restart")
+			}
+		}
+	}
+	// Rollback across the restart: v1 was never live at shutdown but
+	// every version is persisted.
+	if _, err := s2.Deploy("errors", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, stmt := range stmts {
+		pr, err := s2.Predict(ctx, "errors", stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range pr.Probs {
+			if pr.Probs[c] != v1[i][c] {
+				t.Fatal("post-restart rollback did not restore v1 exactly")
+			}
+		}
+	}
+}
+
+// TestWarmBootValidation covers the guard rails: non-empty registries
+// are refused, corrupt artifacts and markers surface errors, foreign
+// keys are ignored.
+func TestWarmBootValidation(t *testing.T) {
+	store := NewMemStore()
+	s := New(Options{Serve: serve.Options{Replicas: 1}, Store: store})
+	defer s.Close()
+	m := trainCCNN(t, core.ErrorClassification)
+	if _, err := s.WarmBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("errors", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WarmBoot(); err == nil {
+		t.Fatal("WarmBoot accepted a non-empty registry")
+	}
+
+	// Foreign keys must not break a boot.
+	store2 := NewMemStore()
+	data, _ := store.Get(artifactKey("errors", 1))
+	store2.Put(artifactKey("errors", 1), data)
+	store2.Put("README", []byte("not ours"))
+	s2 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store2})
+	defer s2.Close()
+	if _, err := s2.WarmBoot(); err != nil {
+		t.Fatalf("foreign key broke warm boot: %v", err)
+	}
+	if models := s2.Models(); len(models) != 1 || models[0].Versions != 1 || models[0].LiveVersion != 0 {
+		t.Fatalf("Models() after boot = %+v", models)
+	}
+
+	// A corrupt artifact must fail the boot loudly, not silently skip.
+	store3 := NewMemStore()
+	garbled := append([]byte(nil), data...)
+	garbled[len(garbled)/2] ^= 0x20
+	store3.Put(artifactKey("errors", 1), garbled)
+	s3 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store3})
+	defer s3.Close()
+	if _, err := s3.WarmBoot(); err == nil {
+		t.Fatal("WarmBoot accepted a corrupt artifact")
+	}
+
+	// A version gap means lost data: refuse to pretend otherwise.
+	store4 := NewMemStore()
+	store4.Put(artifactKey("errors", 2), data)
+	s4 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store4})
+	defer s4.Close()
+	if _, err := s4.WarmBoot(); err == nil {
+		t.Fatal("WarmBoot accepted a non-contiguous version history")
+	}
+
+	// So does a live marker whose artifacts are gone.
+	store5 := NewMemStore()
+	store5.Put(liveKey("errors"), []byte(`{"version":1}`))
+	s5 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store5})
+	defer s5.Close()
+	if _, err := s5.WarmBoot(); err == nil {
+		t.Fatal("WarmBoot accepted a live marker with no artifacts")
+	}
+}
+
+// TestRegisterUnserializableWithStore: a durable registry refuses
+// models the artifact format cannot bring back, instead of silently
+// holding them memory-only.
+func TestRegisterUnserializableWithStore(t *testing.T) {
+	s := New(Options{Serve: serve.Options{Replicas: 1}, Store: NewMemStore()})
+	defer s.Close()
+	m, err := core.Train("mfreq", core.ErrorClassification, testSplit().Train, core.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("baseline", m); err == nil {
+		t.Fatal("durable registry accepted an unserializable model")
+	}
+	if models := s.Models(); len(models) != 0 && models[0].Versions != 0 {
+		t.Fatalf("failed Register left a version behind: %+v", models)
+	}
+}
+
+// TestSwapValidatesOptionsFirst: a Swap with bad options must fail
+// before registering — especially on a durable registry, where an
+// orphaned version would shift rollback numbers forever.
+func TestSwapValidatesOptionsFirst(t *testing.T) {
+	store := NewMemStore()
+	s := New(Options{Serve: serve.Options{Replicas: 1}, Store: store})
+	defer s.Close()
+	m := trainCCNN(t, core.ErrorClassification)
+	if _, err := s.Swap("errors", m, DeployOptions{Admission: "maybe"}); err == nil {
+		t.Fatal("Swap accepted an unknown admission policy")
+	}
+	if models := s.Models(); len(models) != 0 {
+		t.Fatalf("failed Swap left a registered version: %+v", models)
+	}
+	if keys, _ := store.List(); len(keys) != 0 {
+		t.Fatalf("failed Swap persisted artifacts: %v", keys)
+	}
+}
+
+// TestRegisterEmptyName: an empty registry name can never round-trip
+// through the store key schema, so it is rejected up front.
+func TestRegisterEmptyName(t *testing.T) {
+	s := New(Options{Serve: serve.Options{Replicas: 1}})
+	defer s.Close()
+	if _, err := s.Register("", trainCCNN(t, core.ErrorClassification)); err == nil {
+		t.Fatal("Register accepted an empty name")
+	}
+}
+
+// TestPerModelAdmissionQuota deploys two models with different
+// admission policies and hammers the quota-bounded one: its stats must
+// attribute rejections to it alone, while the blocking model never
+// rejects. This is the per-model 429 attribution contract of
+// /v1/stats.
+func TestPerModelAdmissionQuota(t *testing.T) {
+	s := New(Options{Serve: serve.Options{Replicas: 1, MaxBatch: 1}})
+	defer s.Close()
+	m := trainCCNN(t, core.ErrorClassification)
+	if _, err := s.Swap("quota", m, DeployOptions{Admission: AdmissionReject, QueueSize: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap("open", m); err != nil {
+		t.Fatal(err)
+	}
+	stmts := testStatements(10)
+	ctx := context.Background()
+
+	// A batch enqueues far faster than the single replica drains its
+	// 1-deep queue, so the quota model must reject; the open (blocking)
+	// model absorbs the same burst without a single 429.
+	burst := make([]string, 60)
+	for i := range burst {
+		burst[i] = stmts[i%len(stmts)]
+	}
+	sawReject := false
+	for try := 0; try < 50 && !sawReject; try++ {
+		_, err := s.PredictBatch(ctx, "quota", burst)
+		switch {
+		case errors.Is(err, serve.ErrQueueFull):
+			sawReject = true
+		case err != nil:
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if _, err := s.PredictBatch(ctx, "open", burst); err != nil {
+			t.Fatalf("open model errored: %v", err)
+		}
+	}
+	if !sawReject {
+		t.Fatal("quota model never rejected a 60-request burst into a 1-deep queue")
+	}
+
+	qs, qinfo, err := s.Stats("quota")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ostats, oinfo, err := s.Stats("open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qinfo.Deploy.Admission != AdmissionReject || qinfo.Deploy.QueueSize != 1 {
+		t.Fatalf("quota deployment options not reported: %+v", qinfo.Deploy)
+	}
+	if oinfo.Deploy != (DeployOptions{}) {
+		t.Fatalf("open deployment reports overrides it never had: %+v", oinfo.Deploy)
+	}
+	if ostats.Rejected != 0 {
+		t.Fatalf("blocking model attributed %d rejections", ostats.Rejected)
+	}
+	if qs.Rejected == 0 {
+		t.Fatal("callers saw ErrQueueFull but the quota model's stats attribute none")
+	}
+	t.Logf("quota model attributed %d rejections; open model 0", qs.Rejected)
+}

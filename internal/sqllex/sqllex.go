@@ -9,6 +9,7 @@
 package sqllex
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -364,6 +365,32 @@ func (v *Vocabulary) Token(id int) string {
 
 // Size returns the number of tokens including UnknownToken.
 func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Tokens returns the vocabulary's tokens in id order (index 0 is
+// UnknownToken). The returned slice is shared with the vocabulary and
+// must not be mutated; it is the serialization surface of a trained
+// model's encoder state.
+func (v *Vocabulary) Tokens() []string { return v.words }
+
+// VocabularyFromTokens rebuilds a vocabulary from an id-ordered token
+// list, the inverse of Tokens. The list must start with UnknownToken
+// and contain no duplicates — the invariants every built vocabulary
+// holds — so a vocabulary decoded from a stored artifact encodes
+// statements exactly like the one that was saved.
+func VocabularyFromTokens(tokens []string) (*Vocabulary, error) {
+	if len(tokens) == 0 || tokens[0] != UnknownToken {
+		return nil, fmt.Errorf("sqllex: vocabulary must start with the unknown token %q", UnknownToken)
+	}
+	v := &Vocabulary{index: make(map[string]int, len(tokens))}
+	for _, tok := range tokens {
+		if _, dup := v.index[tok]; dup {
+			return nil, fmt.Errorf("sqllex: duplicate vocabulary token %q", tok)
+		}
+		v.index[tok] = len(v.words)
+		v.words = append(v.words, tok)
+	}
+	return v, nil
+}
 
 // Encode maps tokens to ids, truncating to maxLen when maxLen > 0. The
 // result is freshly allocated at its exact final size; hot paths that

@@ -46,6 +46,7 @@ import (
 	"math/rand"
 	"net/http"
 
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/service"
@@ -171,12 +172,26 @@ var (
 
 // Service is the deployment layer over Predictor pools: a named,
 // versioned registry of immutable model snapshots (Register/Deploy/
-// Swap) with context-aware predictions and zero-downtime hot swaps.
+// Swap) with context-aware predictions, zero-downtime hot swaps, and —
+// with a Store configured — durable artifacts that survive restarts
+// (WarmBoot).
 type Service = service.Service
 
 // ServiceOptions configures NewService; its Serve field is the replica
-// pool template applied to every deployed version.
+// pool template applied to every deployed version, its Store field
+// (optional) makes the registry durable.
 type ServiceOptions = service.Options
+
+// DeployOptions are per-deployment overrides of the pool template: the
+// per-model admission quota (policy + queue bound) and replica count.
+type DeployOptions = service.DeployOptions
+
+// Admission policy names for DeployOptions ("" inherits the template).
+const (
+	AdmissionInherit = service.AdmissionInherit
+	AdmissionBlock   = service.AdmissionBlock
+	AdmissionReject  = service.AdmissionReject
+)
 
 // ModelInfo describes one registered model version.
 type ModelInfo = service.ModelInfo
@@ -186,13 +201,59 @@ type ModelInfo = service.ModelInfo
 type Prediction = service.Prediction
 
 // NewService creates an empty model registry. Close it to drain and
-// release every deployed replica pool.
+// release every deployed replica pool. With ServiceOptions.Store set,
+// call WarmBoot next to replay persisted models and mark the service
+// ready.
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // NewServiceHandler exposes a Service over HTTP/JSON (/v1/predict,
-// /v1/models, /v1/deploy, /v1/stats) — the handler cmd/serviced
-// serves.
+// /v1/models, /v1/deploy, /v1/stats, /v1/healthz) — the handler
+// cmd/serviced serves and the Client consumes.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// Store is the registry's pluggable persistence: an opaque blob store
+// (Put/Get/List/Delete) holding model artifacts and deployment
+// markers.
+type Store = service.Store
+
+// NewMemStore creates an in-memory Store (tests, ephemeral
+// registries).
+func NewMemStore() *service.MemStore { return service.NewMemStore() }
+
+// NewDirStore creates (if needed) and opens a directory-backed Store:
+// one checksummed artifact file per model version, atomic writes,
+// durable across restarts. This is what `serviced -store-dir` uses.
+func NewDirStore(dir string) (*service.DirStore, error) { return service.NewDirStore(dir) }
+
+// Client is the typed Go client for the /v1 API: per-request
+// deadlines, bounded retries with backoff on 429/5xx, optional hedged
+// requests, and connection reuse. See package repro/client.
+type Client = client.Client
+
+// ClientOptions configures NewClient (timeout, retry budget, backoff,
+// hedge delay).
+type ClientOptions = client.Options
+
+// ModelStats is one model's service metrics as fetched by
+// Client.Stats.
+type ModelStats = client.ModelStats
+
+// NewClient creates a typed /v1 API client for the service at baseURL
+// (e.g. "http://localhost:8080").
+func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
+	return client.New(baseURL, opts)
+}
+
+// Client-side sentinel errors, matched with errors.Is against failed
+// Client calls.
+var (
+	// ErrClientOverloaded: the model's admission quota rejected the
+	// request (HTTP 429).
+	ErrClientOverloaded = client.ErrOverloaded
+	// ErrClientUnavailable: the server is warming up, draining, or
+	// closed (HTTP 503).
+	ErrClientUnavailable = client.ErrUnavailable
+)
 
 // FineTune continues training a neural model on a new workload (the
 // transfer-learning extension of Section 8). Do not fine-tune a model
