@@ -15,6 +15,13 @@
 //     that has not answered within the hedge delay is raced by a
 //     second identical attempt, and the first response wins — the
 //     classic tail-latency amortization for replicated serving.
+//   - Server-paced backoff: a 429/503 carrying a Retry-After header is
+//     retried after the server's hint, not the client's exponential
+//     guess.
+//   - Per-endpoint circuit breakers: sustained failures trip an
+//     endpoint open, calls fail fast with ErrCircuitOpen (no network),
+//     and a half-open probe after the cooldown closes the circuit once
+//     the server recovers. The readiness probe is exempt.
 //   - Connection reuse: one pooled transport per Client; create one
 //     Client per server and share it across goroutines.
 //
@@ -32,7 +39,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/serve"
@@ -86,6 +96,11 @@ var (
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's pacing hint from a Retry-After header
+	// (0 when absent). The retry loop honors it in place of its own
+	// exponential backoff — the server knows its drain time better than
+	// the client's guess.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -139,6 +154,20 @@ type Options struct {
 	// retry for hedged calls, so a hedged call issues at most two
 	// attempts total.
 	Hedge time.Duration
+	// BreakerThreshold is the failure rate over a full BreakerWindow of
+	// attempts that opens an endpoint's circuit breaker (short-circuit
+	// calls with ErrCircuitOpen instead of hammering a failing server).
+	// 0 selects the default of 0.5; negative disables the breaker.
+	// /v1/healthz is always exempt, so readiness polling keeps working
+	// while everything else is tripped.
+	BreakerThreshold float64
+	// BreakerWindow is the rolling attempt window per endpoint (and the
+	// minimum evidence before the breaker can trip). <= 0 selects 10.
+	BreakerWindow int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// letting one half-open probe through; the probe's outcome closes or
+	// re-opens the circuit. <= 0 selects 1s.
+	BreakerCooldown time.Duration
 }
 
 // resolved returns opts with defaults applied.
@@ -151,6 +180,15 @@ func (o Options) resolved() Options {
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
 	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 0.5
+	}
+	if o.BreakerWindow <= 0 {
+		o.BreakerWindow = 10
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
 	return o
 }
 
@@ -161,8 +199,14 @@ type Client struct {
 	http *http.Client
 	opts Options
 
-	// sleep is the backoff clock, swappable in tests.
+	// sleep and now are the backoff and breaker clocks, swappable in
+	// tests for deterministic timing.
 	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+
+	// breakers maps endpoint path -> circuit breaker, created lazily.
+	bmu      sync.Mutex
+	breakers map[string]*breaker
 }
 
 // New creates a client for the service at baseURL (e.g.
@@ -184,10 +228,12 @@ func New(baseURL string, opts Options) (*Client, error) {
 		}}
 	}
 	return &Client{
-		base:  strings.TrimRight(u.String(), "/"),
-		http:  hc,
-		opts:  opts.resolved(),
-		sleep: sleepCtx,
+		base:     strings.TrimRight(u.String(), "/"),
+		http:     hc,
+		opts:     opts.resolved(),
+		sleep:    sleepCtx,
+		now:      time.Now,
+		breakers: make(map[string]*breaker),
 	}, nil
 }
 
@@ -285,6 +331,25 @@ func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
 	return st, err
 }
 
+// GCResult is one model's outcome of a retention pass, as served by
+// /v1/admin/gc.
+type GCResult = service.GCResult
+
+// gcResponse mirrors the /v1/admin/gc body.
+type gcResponse struct {
+	Results []GCResult `json:"results"`
+}
+
+// GC runs the server's model retention pass now, returning what each
+// model pruned and kept. Not retried — like Deploy, it changes state.
+func (c *Client) GC(ctx context.Context) ([]GCResult, error) {
+	var resp gcResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/admin/gc", nil, &resp, false); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
 // Healthz probes readiness: nil once the server has warm-booted,
 // ErrUnavailable (via *APIError) while it is warming up or draining.
 // Not retried — a readiness probe reports, it does not wait.
@@ -330,11 +395,22 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, ret
 		if attempt >= retries || !isRetryable(err) || ctx.Err() != nil {
 			break
 		}
-		if err := c.sleep(ctx, c.opts.Backoff<<attempt); err != nil {
+		if err := c.sleep(ctx, retryDelay(err, c.opts.Backoff<<attempt)); err != nil {
 			break
 		}
 	}
 	return lastErr
+}
+
+// retryDelay picks the pause before the next attempt: the server's
+// Retry-After hint when the failure carried one, the exponential
+// backoff otherwise.
+func retryDelay(err error, backoff time.Duration) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	return backoff
 }
 
 // callHedged performs a prediction call: hedged when configured,
@@ -392,8 +468,88 @@ func (c *Client) callHedged(ctx context.Context, method, path string, in, out an
 }
 
 // once performs a single HTTP attempt, applying the per-attempt
-// timeout, and returns the response body on 2xx or a typed error.
+// timeout and the endpoint's circuit breaker, and returns the response
+// body on 2xx or a typed error. While the breaker is open the attempt
+// fails with ErrCircuitOpen before any network I/O.
 func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	br := c.breakerFor(path)
+	if br != nil {
+		if err := br.allow(c.now(), c.opts.BreakerCooldown); err != nil {
+			return nil, err
+		}
+	}
+	data, err := c.attempt(ctx, method, path, body)
+	if br != nil {
+		if err != nil && ctx.Err() != nil {
+			// The caller's own cancellation or deadline is not evidence
+			// about server health; leave the breaker's window alone (a
+			// half-open probe is released as a success so the next real
+			// attempt can probe again).
+			br.record(false, c.now(), c.opts.BreakerThreshold)
+		} else {
+			br.record(err != nil && isBreakerFailure(err), c.now(), c.opts.BreakerThreshold)
+		}
+	}
+	return data, err
+}
+
+// isBreakerFailure classifies an attempt error for the breaker: server
+// trouble (5xx, 429, transport failures) opens circuits; client
+// mistakes (404, 409, 4xx) do not — the server answered fine.
+func isBreakerFailure(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.retryable()
+	}
+	return true
+}
+
+// breakerFor returns path's circuit breaker, creating it on first use.
+// nil when breakers are disabled and for the exempt readiness probe.
+func (c *Client) breakerFor(path string) *breaker {
+	if c.opts.BreakerThreshold < 0 {
+		return nil
+	}
+	endpoint := path
+	if i := strings.IndexByte(endpoint, '?'); i >= 0 {
+		endpoint = endpoint[:i]
+	}
+	if endpoint == "/v1/healthz" {
+		return nil
+	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	br, ok := c.breakers[endpoint]
+	if !ok {
+		br = newBreaker(c.opts.BreakerWindow)
+		c.breakers[endpoint] = br
+	}
+	return br
+}
+
+// Breakers snapshots every endpoint circuit breaker this client has
+// touched, sorted by endpoint.
+func (c *Client) Breakers() []BreakerStats {
+	c.bmu.Lock()
+	endpoints := make([]string, 0, len(c.breakers))
+	for ep := range c.breakers {
+		endpoints = append(endpoints, ep)
+	}
+	brs := make([]*breaker, 0, len(endpoints))
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		brs = append(brs, c.breakers[ep])
+	}
+	c.bmu.Unlock()
+	out := make([]BreakerStats, len(endpoints))
+	for i, ep := range endpoints {
+		out[i] = brs[i].snapshot(ep)
+	}
+	return out
+}
+
+// attempt is one raw HTTP round trip.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	if c.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
@@ -421,6 +577,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		apiErr := &APIError{Status: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
 		var e struct {
 			Error string `json:"error"`
 		}
@@ -436,10 +595,14 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 
 // isRetryable classifies an attempt error: retryable API statuses and
 // transport-level failures (connection refused/reset, a per-attempt
-// timeout). Expiry of the caller's own context stops the retry loop
-// separately — their deadline is an instruction, not a failure to
-// paper over.
+// timeout), but never a short-circuit — retrying into an open breaker
+// is exactly the hammering it exists to stop. Expiry of the caller's
+// own context stops the retry loop separately — their deadline is an
+// instruction, not a failure to paper over.
 func isRetryable(err error) bool {
+	if errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
 		return apiErr.retryable()

@@ -21,11 +21,20 @@
 // net/http/pprof profiling endpoints are served on that address for
 // the lifetime of the run (`go tool pprof http://<addr>/debug/pprof/profile`).
 //
+// With -fault-rate > 0 (in-process mode only) the loopback server is
+// wrapped in a seeded fault injector: each request fails with a 503 +
+// Retry-After with that probability, drawn from the -fault-seed PRNG so
+// a run replays exactly. The report then includes the injector's fault
+// count, the requests the client's circuit breaker short-circuited,
+// and the final per-endpoint breaker states — the knob for watching
+// retry + breaker behavior under a controlled failure rate.
+//
 // Examples:
 //
 //	servebench -model ccnn -task error -replicas 4 -clients 16 -duration 5s
 //	servebench -model clstm -deadline 300us -admission reject
 //	servebench -model ccnn -hedge 1ms -retries 3
+//	servebench -model ccnn -fault-rate 0.2 -fault-seed 7 -retries 3
 //	servebench -addr http://prod-host:8080 -model ccnn -clients 64
 package main
 
@@ -49,6 +58,7 @@ import (
 	"repro/client"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/serve"
 	"repro/internal/service"
 )
@@ -68,6 +78,8 @@ func main() {
 	admission := flag.String("admission", "block", "full-queue policy: block or reject (in-process mode)")
 	retries := flag.Int("retries", -1, "client retry budget on 429/5xx (-1 = off, 0 = client default)")
 	hedge := flag.Duration("hedge", 0, "hedge delay: fire a duplicate request after this wait (0 = off)")
+	faultRate := flag.Float64("fault-rate", 0, "probability each in-process request is failed with an injected 503 (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "PRNG seed for the fault injector (same seed = same fault schedule)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	flag.Parse()
 
@@ -84,6 +96,12 @@ func main() {
 		if *maxBatch <= 0 {
 			log.Fatalf("servebench: -max-batch must be positive, got %d", *maxBatch)
 		}
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		log.Fatalf("servebench: -fault-rate must be in [0,1], got %g", *faultRate)
+	}
+	if *faultRate > 0 && *addr != "" {
+		log.Fatal("servebench: -fault-rate injects faults into the in-process server; it cannot be used with -addr")
 	}
 	var policy serve.AdmissionPolicy
 	switch *admission {
@@ -118,6 +136,7 @@ func main() {
 	}
 
 	baseURL := *addr
+	var inj *faults.Injector
 	if baseURL == "" {
 		// In-process target: train, deploy, serve on a loopback port.
 		fmt.Fprintf(os.Stderr, "training %s for %s on %d statements...\n", *model, task, len(env.SDSSSplit.Train))
@@ -140,7 +159,27 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv := &http.Server{Handler: service.NewHandler(svc)}
+		handler := http.Handler(service.NewHandler(svc))
+		if *faultRate > 0 {
+			// Injected-fault loopback: a seeded fraction of requests die
+			// with 503 + Retry-After before reaching the service, so the
+			// client's retry schedule and circuit breaker face a
+			// reproducible failure rate.
+			inj = faults.NewInjector(*faultSeed)
+			inj.Add(faults.Rule{Op: faults.OpHTTP, Rate: *faultRate})
+			inner := handler
+			handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if d := inj.Decide(faults.OpHTTP, r.URL.Path); d.Err != nil {
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("Retry-After", "1")
+					w.WriteHeader(http.StatusServiceUnavailable)
+					fmt.Fprintf(w, "{\"error\":%q}\n", d.Err.Error())
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		srv := &http.Server{Handler: handler}
 		go srv.Serve(ln)
 		defer srv.Close()
 		baseURL = "http://" + ln.Addr().String()
@@ -165,7 +204,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "driving %s via %s with %d clients for %s...\n",
 		*model, baseURL, *clients, *duration)
 
-	var served, expired, rejected, failed atomic.Uint64
+	var served, expired, rejected, shorted, failed atomic.Uint64
 	lats := make([][]time.Duration, *clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -190,6 +229,16 @@ func main() {
 					expired.Add(1)
 				case errors.Is(err, client.ErrOverloaded):
 					rejected.Add(1)
+				case errors.Is(err, client.ErrCircuitOpen):
+					// The breaker refused to spend the request on a host it
+					// believes is down — no network round trip happened.
+					// Pause instead of spinning on the open circuit.
+					shorted.Add(1)
+					select {
+					case <-time.After(time.Millisecond):
+					case <-ctx.Done():
+						return
+					}
 				case ctx.Err() != nil:
 					return
 				default:
@@ -212,9 +261,18 @@ func main() {
 		}
 		return all[(len(all)-1)*q/100]
 	}
-	fmt.Printf("client: served=%d throughput=%.0f/s p50=%s p99=%s expired=%d rejected=%d failed=%d\n",
+	fmt.Printf("client: served=%d throughput=%.0f/s p50=%s p99=%s expired=%d rejected=%d short_circuited=%d failed=%d\n",
 		served.Load(), float64(served.Load())/elapsed.Seconds(), p(50), p(99),
-		expired.Load(), rejected.Load(), failed.Load())
+		expired.Load(), rejected.Load(), shorted.Load(), failed.Load())
+	if inj != nil {
+		ops, injected := inj.Stats()
+		fmt.Printf("faults: seed=%d requests=%d injected=%d (rate %.3f)\n",
+			*faultSeed, ops, injected, float64(injected)/float64(max(ops, 1)))
+	}
+	for _, b := range c.Breakers() {
+		fmt.Printf("breaker: %s state=%s failures=%d opened=%d short_circuited=%d\n",
+			b.Endpoint, b.State, b.Failures, b.Opened, b.ShortCircuited)
+	}
 
 	// Server-side view (per-model attribution of the same run).
 	statsCtx, statsCancel := context.WithTimeout(context.Background(), 5*time.Second)

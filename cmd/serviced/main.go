@@ -7,6 +7,11 @@
 //	POST /v1/deploy   {"model",["version"],["admission"],["queue_size"],["replicas"]}
 //	GET  /v1/stats?model=NAME
 //	GET  /v1/healthz
+//	POST /v1/admin/gc
+//
+// With -retain N set, each model keeps only its newest N versions plus
+// the live one; older versions are pruned from memory and the store on
+// every deploy (and on demand via POST /v1/admin/gc).
 //
 // With -store-dir set the registry is durable: every registered
 // version is persisted as a checksummed artifact and the live
@@ -80,6 +85,7 @@ type config struct {
 	drain     time.Duration
 	pprofAddr string
 	storeDir  string
+	retain    int
 }
 
 // parseFlags validates the command line into a config.
@@ -97,13 +103,17 @@ func parseFlags(args []string) (config, error) {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	storeDir := fs.String("store-dir", "", "directory for durable model artifacts (empty = memory-only registry)")
+	retain := fs.Int("retain", 0, "model versions kept per model beyond the live one (0 = keep all)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	cfg := config{
 		addr: *addr, replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
 		window: *window, sessions: *sessions, drain: *drain, pprofAddr: *pprofAddr,
-		storeDir: *storeDir,
+		storeDir: *storeDir, retain: *retain,
+	}
+	if cfg.retain < 0 {
+		return config{}, fmt.Errorf("serviced: -retain must be >= 0, got %d", cfg.retain)
 	}
 	if cfg.replicas <= 0 {
 		return config{}, fmt.Errorf("serviced: -replicas must be positive, got %d", cfg.replicas)
@@ -157,7 +167,7 @@ func run(args []string, out io.Writer) error {
 		MaxBatch:    cfg.maxBatch,
 		BatchWindow: cfg.window,
 		Admission:   cfg.admission,
-	}}
+	}, Retain: cfg.retain}
 	if cfg.storeDir != "" {
 		store, err := service.NewDirStore(cfg.storeDir)
 		if err != nil {
@@ -229,12 +239,19 @@ func run(args []string, out io.Writer) error {
 // were not restored. Models restored from the store are NOT retrained
 // — that is the point of the store.
 func boot(cfg config, svc *service.Service, out io.Writer) error {
-	restored, err := svc.WarmBoot()
+	rep, err := svc.WarmBoot()
 	if err != nil {
 		return err
 	}
-	deployed := make(map[string]bool, len(restored))
-	for _, info := range restored {
+	for _, detail := range rep.Details {
+		fmt.Fprintf(out, "warm boot: %s\n", detail)
+	}
+	if rep.Degraded {
+		fmt.Fprintf(out, "warm boot degraded: loaded=%d quarantined=%d skipped=%d\n",
+			rep.Loaded, rep.Quarantined, rep.Skipped)
+	}
+	deployed := make(map[string]bool, len(rep.Deployed))
+	for _, info := range rep.Deployed {
 		// A store trained for another task must not be served under
 		// this -task silently: the operator would read error-class
 		// answers as session predictions.

@@ -159,11 +159,11 @@ func main() {
 		Store: store2,
 	})
 	defer svc2.Close()
-	restored, err := svc2.WarmBoot()
+	rep, err := svc2.WarmBoot()
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("restart: warm-booted %d model(s) from %s\n", len(restored), storeDir)
+	fmt.Printf("restart: warm-booted %d model(s) from %s\n", len(rep.Deployed), storeDir)
 	got, err := svc2.Predict(context.Background(), "errors", probe)
 	if err != nil {
 		panic(err)

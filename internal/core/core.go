@@ -192,6 +192,23 @@ type Model struct {
 	neural  nnBackend
 	maxLen  int
 	rngSeed int64
+
+	// predictHook, when set, runs before every neural prediction (see
+	// SetPredictHook). Checked per call, so it survives rebinding and
+	// is inherited by Snapshot and Replicate copies.
+	predictHook func(stmt string)
+}
+
+// SetPredictHook installs a function invoked with the statement before
+// every neural prediction on this model instance. It is a fault-
+// injection seam for resilience tests: a hook that panics simulates a
+// poisoned model or input, exercising the serving pool's recovery
+// boundary. Snapshot and Replicate copies inherit the hook. A nil hook
+// (the default) costs one predictable branch on the warm path and
+// allocates nothing. No-op for baseline and TF-IDF models, which have
+// no neural backend. Not safe to call concurrently with predictions.
+func (m *Model) SetPredictHook(hook func(stmt string)) {
+	m.predictHook = hook
 }
 
 // nnBackend is the retained state of a neural model.

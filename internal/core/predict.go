@@ -40,12 +40,18 @@ func (m *Model) bindNeuralPredict() {
 	if m.Task.IsClassification() {
 		var probs []float64
 		m.probs = func(stmt string) []float64 {
+			if m.predictHook != nil {
+				m.predictHook(stmt)
+			}
 			out, _ := backend.model.Forward(enc.Encode(stmt), false, nil)
 			return nn.SoftmaxInto(out, growFloats(&probs, len(out)))
 		}
 		return
 	}
 	m.value = func(stmt string) float64 {
+		if m.predictHook != nil {
+			m.predictHook(stmt)
+		}
 		out, _ := backend.model.Forward(enc.Encode(stmt), false, nil)
 		return out[0]
 	}
@@ -82,6 +88,7 @@ func (m *Model) Replicate() *Model {
 		Name: m.Name, Task: m.Task, V: m.V, P: m.P, LogMin: m.LogMin,
 		neural: nnBackend{model: replica, vocab: m.neural.vocab},
 		maxLen: m.maxLen, rngSeed: m.rngSeed,
+		predictHook: m.predictHook,
 	}
 	r.bindNeuralPredict()
 	return r

@@ -22,6 +22,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,13 @@ var ErrClosed = errors.New("serve: predictor closed")
 // ErrQueueFull is returned under the AdmitReject admission policy when
 // the request queue is full at enqueue time.
 var ErrQueueFull = errors.New("serve: request queue full")
+
+// ErrPanicked is returned (wrapped, with the panic value) for a
+// request whose inference panicked. The panic is confined to that one
+// request: the worker recovers, the pool keeps serving, and a replica
+// that panics PanicLimit times is retired and rebuilt from the model
+// snapshot. Match with errors.Is.
+var ErrPanicked = errors.New("serve: model panicked")
 
 // AdmissionPolicy selects what happens when a request arrives and the
 // bounded queue is full.
@@ -75,6 +83,10 @@ type Options struct {
 	// Admission selects the full-queue behavior of the context-aware
 	// methods (default AdmitBlock).
 	Admission AdmissionPolicy
+	// PanicLimit is how many panics one replica absorbs before it is
+	// retired and rebuilt from the model snapshot (fresh scratch state;
+	// weights are shared and immutable either way). <= 0 selects 3.
+	PanicLimit int
 }
 
 // withDefaults resolves unset options.
@@ -84,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 32
+	}
+	if o.PanicLimit <= 0 {
+		o.PanicLimit = 3
 	}
 	if o.QueueSize <= 0 {
 		o.QueueSize = 4 * o.Replicas
@@ -122,6 +137,9 @@ type request struct {
 	out  []float64
 	cls  int
 	val  float64
+	// err is the per-request failure (ErrPanicked-wrapped) set by the
+	// worker before the done signal; nil on success.
+	err  error
 	enq  time.Time
 	done chan struct{}
 	// state arbitrates caller cancellation vs. worker pickup: exactly
@@ -280,9 +298,9 @@ func (p *Predictor) ProbsIntoCtx(ctx context.Context, stmt string, dst []float64
 	if err := p.await(ctx, r); err != nil {
 		return nil, err
 	}
-	out := r.out
+	out, err := r.out, r.err
 	p.release(r)
-	return out, nil
+	return out, err
 }
 
 // PredictClassCtx returns the argmax class for a statement, honoring
@@ -295,9 +313,9 @@ func (p *Predictor) PredictClassCtx(ctx context.Context, stmt string) (int, erro
 	if err := p.await(ctx, r); err != nil {
 		return 0, err
 	}
-	cls := r.cls
+	cls, err := r.cls, r.err
 	p.release(r)
-	return cls, nil
+	return cls, err
 }
 
 // PredictLogCtx returns the log-space regression prediction, honoring
@@ -310,9 +328,9 @@ func (p *Predictor) PredictLogCtx(ctx context.Context, stmt string) (float64, er
 	if err := p.await(ctx, r); err != nil {
 		return 0, err
 	}
-	val := r.val
+	val, err := r.val, r.err
 	p.release(r)
-	return val, nil
+	return val, err
 }
 
 // PredictRawCtx returns the regression prediction in the label's
@@ -341,6 +359,9 @@ func (p *Predictor) ProbsBatchCtx(ctx context.Context, stmts []string) ([][]floa
 			}
 			continue // abandoned; the draining worker releases it
 		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
 		out[i] = r.out
 		p.release(r)
 	}
@@ -364,6 +385,9 @@ func (p *Predictor) PredictLogBatchCtx(ctx context.Context, stmts []string) ([]f
 				firstErr = err
 			}
 			continue
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
 		}
 		out[i] = r.val
 		p.release(r)
@@ -426,7 +450,7 @@ func (p *Predictor) PredictLogBatch(stmts []string) []float64 {
 func (p *Predictor) newRequest(kind reqKind, stmt string, dst []float64) *request {
 	r := p.reqPool.Get().(*request)
 	r.kind, r.stmt, r.dst = kind, stmt, dst
-	r.out = nil
+	r.out, r.err = nil, nil
 	r.state.Store(reqQueued)
 	r.enq = time.Now()
 	return r
@@ -513,17 +537,23 @@ func (p *Predictor) await(ctx context.Context, r *request) error {
 // release returns a completed request to the pool.
 func (p *Predictor) release(r *request) {
 	r.stmt = ""
-	r.dst, r.out = nil, nil
+	r.dst, r.out, r.err = nil, nil, nil
 	p.reqPool.Put(r)
 }
 
 // worker is one replica loop: take a request, gather a micro-batch,
-// run it, repeat until the queue closes.
+// run it, repeat until the queue closes. A panicking inference is
+// confined to its request (process recovers); a replica that keeps
+// panicking is retired and rebuilt from the snapshot — fresh encoder
+// and scratch state, same shared immutable weights — so one poisoned
+// model input can never wedge a worker or leak damaged scratch into
+// later requests.
 func (p *Predictor) worker(w int) {
 	rep := p.replicas[w]
 	ring := &p.stats.lat[w]
 	batch := make([]*request, 0, p.opts.MaxBatch)
 	var timer *time.Timer
+	panics := 0
 	for {
 		r, ok := <-p.queue
 		if !ok {
@@ -543,7 +573,14 @@ func (p *Predictor) worker(w int) {
 				p.release(r)
 				continue
 			}
-			p.process(rep, ring, r)
+			if p.process(rep, ring, r) {
+				if panics++; panics >= p.opts.PanicLimit {
+					rep = p.model.Replicate()
+					p.replicas[w] = rep
+					p.stats.rebuilds.Add(1)
+					panics = 0
+				}
+			}
 		}
 	}
 }
@@ -602,10 +639,27 @@ func stopTimer(t *time.Timer) {
 	}
 }
 
-// process runs one request on a replica and signals completion. All
-// accounting happens before the done signal: a caller that observed
-// its request finish must find it reflected in Stats.
-func (p *Predictor) process(rep *core.Model, ring *latRing, r *request) {
+// process runs one request on a replica and signals completion,
+// reporting whether the inference panicked. All accounting happens
+// before the done signal: a caller that observed its request finish
+// must find it reflected in Stats.
+//
+// The recover boundary is here, around exactly one request: a model
+// panic (poisoned input, corrupted scratch) fails that request with a
+// wrapped ErrPanicked and the worker moves on. The deferred check runs
+// on the success path too but recover() is nil there, so the warm
+// no-fault path stays allocation-free.
+func (p *Predictor) process(rep *core.Model, ring *latRing, r *request) (panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicked = true
+			r.out = nil
+			r.err = fmt.Errorf("%w: %v", ErrPanicked, v)
+			p.stats.panics.Add(1)
+			ring.record(time.Since(r.enq))
+			r.done <- struct{}{}
+		}
+	}()
 	switch r.kind {
 	case probsKind:
 		r.out = rep.ProbsInto(r.stmt, r.dst)
@@ -617,4 +671,5 @@ func (p *Predictor) process(rep *core.Model, ring *latRing, r *request) {
 	ring.record(time.Since(r.enq))
 	p.stats.completed.Add(1)
 	r.done <- struct{}{}
+	return false
 }

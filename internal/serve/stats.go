@@ -21,6 +21,8 @@ type statsState struct {
 	batches   atomic.Uint64
 	rejected  atomic.Uint64 // AdmitReject refusals (ErrQueueFull)
 	canceled  atomic.Uint64 // requests abandoned while queued (ctx expiry)
+	panics    atomic.Uint64 // requests failed with ErrPanicked
+	rebuilds  atomic.Uint64 // replicas retired and rebuilt after PanicLimit
 
 	lat []latRing // one per worker
 }
@@ -83,6 +85,12 @@ type Stats struct {
 	// context expired while they were still queued.
 	Rejected uint64
 	Canceled uint64
+	// Panics counts requests that failed with ErrPanicked (the model
+	// panicked mid-inference); Rebuilds counts replicas retired and
+	// rebuilt from the shared-weight snapshot after PanicLimit
+	// consecutive-panic strikes.
+	Panics   uint64
+	Rebuilds uint64
 	// QueueDepth is the number of requests currently waiting.
 	QueueDepth int
 	// Uptime is the time since NewPredictor; Throughput is
@@ -102,6 +110,8 @@ func (p *Predictor) Stats() Stats {
 		Batches:    p.stats.batches.Load(),
 		Rejected:   p.stats.rejected.Load(),
 		Canceled:   p.stats.canceled.Load(),
+		Panics:     p.stats.panics.Load(),
+		Rebuilds:   p.stats.rebuilds.Load(),
 		QueueDepth: len(p.queue),
 		Uptime:     time.Since(p.start),
 	}
@@ -118,7 +128,7 @@ func (p *Predictor) Stats() Stats {
 // String renders the snapshot for logs and load drivers.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f rejected=%d canceled=%d uptime=%s",
+		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f rejected=%d canceled=%d panics=%d rebuilds=%d uptime=%s",
 		s.Completed, s.Throughput, s.P50, s.P99, s.QueueDepth, s.Batches, s.MeanBatch,
-		s.Rejected, s.Canceled, s.Uptime.Round(time.Millisecond))
+		s.Rejected, s.Canceled, s.Panics, s.Rebuilds, s.Uptime.Round(time.Millisecond))
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/serve"
@@ -31,8 +32,14 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v1/deploy", func(w http.ResponseWriter, r *http.Request) { handleDeploy(s, w, r) })
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(s, w, r) })
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(s, w, r) })
+	mux.HandleFunc("/v1/admin/gc", func(w http.ResponseWriter, r *http.Request) { handleGC(s, w, r) })
 	return mux
 }
+
+// retryAfterSeconds is the backoff hint sent with every 429 and 503:
+// the server-provided pacing the typed client honors in place of its
+// own exponential guess.
+const retryAfterSeconds = 1
 
 // predictRequest is the /v1/predict body. Exactly one of Statement or
 // Statements must be set.
@@ -139,9 +146,13 @@ func handleDeploy(s *Service, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// healthzResponse is the readiness probe body.
+// healthzResponse is the readiness probe body. Once a warm boot has
+// run, Boot carries its report — loaded/quarantined/skipped counts and
+// the incident log — so an orchestrator (or a human with curl) can
+// tell a clean boot from a degraded one that quarantined artifacts.
 type healthzResponse struct {
-	Status string `json:"status"`
+	Status string      `json:"status"`
+	Boot   *BootReport `json:"boot,omitempty"`
 }
 
 func handleHealthz(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -150,10 +161,34 @@ func handleHealthz(s *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "warming up"})
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "warming up", Boot: s.BootReport()})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
+	status := "ok"
+	rep := s.BootReport()
+	if rep != nil && rep.Degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{Status: status, Boot: rep})
+}
+
+// gcResponse is the /v1/admin/gc body.
+type gcResponse struct {
+	Results []GCResult `json:"results"`
+}
+
+func handleGC(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	results, err := s.GC()
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, gcResponse{Results: results})
 }
 
 func handleStats(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -192,12 +227,21 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrClosed), errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrPanicked):
+		// A poisoned input took down one inference, not the pool: the
+		// request fails, the node stays healthy.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
+	// Overload and unavailability responses carry the server's pacing
+	// hint; the typed client honors it over its own backoff schedule.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 

@@ -64,6 +64,12 @@ type Options struct {
 	// version and its options, and WarmBoot reloads both after a
 	// restart. nil keeps the registry memory-only.
 	Store Store
+	// Retain, when > 0, is the model GC retention policy: after every
+	// Deploy/Swap the registry keeps only the newest Retain versions of
+	// the deployed model plus whichever version is live, deleting the
+	// rest from memory and the store. Pruned version numbers are never
+	// reused. <= 0 keeps every version forever (the pre-GC behavior).
+	Retain int
 }
 
 // Admission policy names for DeployOptions and the HTTP API. The empty
@@ -125,8 +131,11 @@ type ModelInfo struct {
 	Classification bool `json:"classification"`
 	// Version is this snapshot's registry version (1-based).
 	Version int `json:"version"`
-	// Versions is the total number of registered versions.
-	Versions int `json:"versions"`
+	// Versions is the highest version number ever registered. Available
+	// counts the versions actually deployable — quarantined or
+	// GC-pruned versions leave permanent holes between the two.
+	Versions  int `json:"versions"`
+	Available int `json:"available"`
 	// Live reports whether this version is currently serving; for
 	// registry listings LiveVersion is the deployed version (0 = none).
 	Live        bool `json:"live"`
@@ -165,6 +174,10 @@ type livePool struct {
 
 // entry is one registry slot: the append-only version history plus the
 // atomically swappable live pool.
+//
+// versions is indexed by version-1 and may hold nil holes: a
+// quarantined (corrupt-at-boot) or GC-pruned version keeps its slot so
+// version numbers are never reused, but can no longer be deployed.
 type entry struct {
 	name string
 	task core.Task
@@ -173,6 +186,27 @@ type entry struct {
 	mu       sync.Mutex // serializes Register version-append and Deploy
 	versions []*core.Model
 	live     atomic.Pointer[livePool]
+}
+
+// latest returns the highest available (non-hole) version, 0 if none.
+func (e *entry) latest() int {
+	for v := len(e.versions); v > 0; v-- {
+		if e.versions[v-1] != nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// available counts non-hole versions.
+func (e *entry) available() int {
+	n := 0
+	for _, m := range e.versions {
+		if m != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Service is a concurrent, versioned model registry and prediction
@@ -185,6 +219,10 @@ type Service struct {
 	// store (predictions against already-deployed models work either
 	// way; readiness is the load balancer's signal).
 	ready atomic.Bool
+
+	// boot is the completed warm boot's report, surfaced through
+	// /v1/healthz so a degraded (quarantining) boot is observable.
+	boot atomic.Pointer[BootReport]
 
 	mu      sync.RWMutex // guards entries map and closed
 	entries map[string]*entry
@@ -289,15 +327,19 @@ func (s *Service) Deploy(name string, version int, opts ...DeployOptions) (Model
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.versions) == 0 {
+	if e.available() == 0 {
 		return ModelInfo{}, fmt.Errorf("service: deploy %q: no registered versions", name)
 	}
 	if version <= 0 {
-		version = len(e.versions)
+		version = e.latest()
 	}
 	if version > len(e.versions) {
 		return ModelInfo{}, fmt.Errorf("service: deploy %q: version %d not registered (have 1..%d)",
 			name, version, len(e.versions))
+	}
+	if e.versions[version-1] == nil {
+		return ModelInfo{}, fmt.Errorf("service: deploy %q: version %d is no longer available (quarantined or GC-pruned)",
+			name, version)
 	}
 	// Double-check closed under the entry lock so a pool can never be
 	// born after Close tore the others down.
@@ -328,6 +370,10 @@ func (s *Service) Deploy(name string, version int, opts ...DeployOptions) (Model
 	if prev != nil {
 		prev.pred.Close() // drains in-flight requests before returning
 	}
+	// Retention is enforced at the moment history grows stale — best
+	// effort: a store hiccup during pruning must not undo a deploy that
+	// already succeeded (GC() retries it on demand).
+	s.gcEntryLocked(e)
 	return e.info(version), nil
 }
 
@@ -533,6 +579,92 @@ func (s *Service) Close() {
 	}
 }
 
+// GCResult is one model's outcome of a retention pass.
+type GCResult struct {
+	// Name is the registry entry the pass ran over.
+	Name string `json:"name"`
+	// Removed lists the version numbers pruned (memory and store).
+	Removed []int `json:"removed,omitempty"`
+	// Retained counts the versions still available after the pass.
+	Retained int `json:"retained"`
+}
+
+// GC enforces the retention policy (Options.Retain) across every
+// registered model right now: each entry keeps its newest Retain
+// versions plus whichever version is live; everything older is deleted
+// from memory and the store, leaving permanent holes (version numbers
+// are never reused). With Retain <= 0 it is a no-op. Deploy and Swap
+// run the same pass automatically on the model they deploy; this
+// method exists for the admin endpoint and for catching up after a
+// Retain change.
+func (s *Service) GC() ([]GCResult, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	results := make([]GCResult, 0, len(entries))
+	var firstErr error
+	for _, e := range entries {
+		e.mu.Lock()
+		res, err := s.gcEntryLocked(e)
+		e.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results = append(results, res)
+	}
+	return results, firstErr
+}
+
+// gcEntryLocked prunes one entry to the retention policy. Caller holds
+// e.mu. The in-memory version is dropped only after the store delete
+// succeeds, so the store never references a model the registry cannot
+// also serve; a failed store delete leaves that version fully intact
+// for the next pass.
+func (s *Service) gcEntryLocked(e *entry) (GCResult, error) {
+	res := GCResult{Name: e.name, Retained: e.available()}
+	retain := s.opts.Retain
+	if retain <= 0 {
+		return res, nil
+	}
+	liveV := 0
+	if lp := e.live.Load(); lp != nil {
+		liveV = lp.version
+	}
+	kept := 0
+	var firstErr error
+	for v := len(e.versions); v >= 1; v-- {
+		if e.versions[v-1] == nil {
+			continue
+		}
+		if v == liveV || kept < retain {
+			kept++
+			continue
+		}
+		if s.opts.Store != nil {
+			if err := s.opts.Store.Delete(artifactKey(e.name, v)); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("service: gc %q v%d: %w", e.name, v, err)
+				}
+				kept++ // still present everywhere; retry next pass
+				continue
+			}
+		}
+		e.versions[v-1] = nil
+		res.Removed = append(res.Removed, v)
+	}
+	res.Retained = e.available()
+	sort.Ints(res.Removed)
+	return res, firstErr
+}
+
 // Store key schema. Artifact blobs live under "v<version>/<name>",
 // live-deployment markers under "live/<name>"; the version segment is
 // numeric, so the two namespaces cannot collide whatever the model
@@ -571,19 +703,86 @@ type liveRecord struct {
 	DeployOptions
 }
 
+// quarantinePrefix parks blobs the boot path classified as damaged.
+// Quarantined keys are invisible to parseKey (so later boots ignore
+// them) but preserved verbatim for offline forensics.
+const quarantinePrefix = "quarantine/"
+
+// BootReport is WarmBoot's account of what it found in the store:
+// the restored live deployments, how many artifacts loaded cleanly,
+// how many were quarantined as damaged, how many store keys were
+// skipped as foreign, and a human-readable incident log. It is served
+// in the /v1/healthz body so a degraded boot is observable, not just
+// survivable.
+type BootReport struct {
+	// Deployed lists the live deployments restored (or reached by
+	// fallback) during the boot.
+	Deployed []ModelInfo `json:"deployed,omitempty"`
+	// Loaded counts artifacts that decoded cleanly and were installed.
+	Loaded int `json:"loaded"`
+	// Quarantined counts blobs (artifacts or live markers) moved to the
+	// quarantine/ prefix this boot: corrupt, truncated, or mislabeled.
+	Quarantined int `json:"quarantined"`
+	// Skipped counts store keys ignored as not ours (foreign files in a
+	// store directory, previously quarantined blobs).
+	Skipped int `json:"skipped"`
+	// Degraded reports whether any quarantine, fallback, or skipped
+	// deployment happened — the "boot succeeded but a human should
+	// look" bit.
+	Degraded bool `json:"degraded,omitempty"`
+	// Details is the incident log: one line per quarantine, live-marker
+	// fallback, or abandoned deployment.
+	Details []string `json:"details,omitempty"`
+}
+
+// detailf appends one incident line.
+func (r *BootReport) detailf(format string, args ...any) {
+	r.Degraded = true
+	r.Details = append(r.Details, fmt.Sprintf(format, args...))
+}
+
+// BootReport returns the report of the completed WarmBoot, or nil if
+// no warm boot has run.
+func (s *Service) BootReport() *BootReport {
+	return s.boot.Load()
+}
+
+// quarantine moves a damaged blob under the quarantine prefix (best
+// effort: on failure the blob stays put and the next boot retries).
+func (s *Service) quarantine(rep *BootReport, key string, data []byte, why error) {
+	rep.Quarantined++
+	rep.detailf("quarantined %q: %v", key, why)
+	if err := s.opts.Store.Put(quarantinePrefix+key, data); err != nil {
+		rep.detailf("quarantine move of %q failed, blob left in place: %v", key, err)
+		return
+	}
+	if err := s.opts.Store.Delete(key); err != nil {
+		rep.detailf("quarantine delete of original %q failed: %v", key, err)
+	}
+}
+
 // WarmBoot replays the configured store into an empty registry: every
 // persisted version is decoded (checksums verified) and reinstalled
 // under its original version number, and each model's recorded live
 // deployment is restarted with its recorded options. On success the
 // service reports Ready. Models never deployed stay registered but
 // cold, exactly as before the restart; rollback to any persisted
-// version keeps working because all versions are reloaded, not just
-// the live ones.
+// version keeps working because all intact versions are reloaded, not
+// just the live ones.
+//
+// WarmBoot survives damage instead of dying of it. A corrupt,
+// truncated, or mislabeled artifact is moved under the quarantine/
+// prefix and its version becomes a permanent hole; the rest of the
+// model's history still loads. A corrupt live marker — or one pointing
+// at a quarantined version — falls back to the model's highest intact
+// version. Only infrastructure failures (the store itself erroring)
+// abort the boot; data damage degrades it, and the BootReport says
+// exactly how.
 //
 // Without a store WarmBoot only flips the service ready. It must run
 // before the first Register (the registry must be empty so persisted
 // version numbers cannot collide with fresh ones).
-func (s *Service) WarmBoot() ([]ModelInfo, error) {
+func (s *Service) WarmBoot() (*BootReport, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -594,9 +793,11 @@ func (s *Service) WarmBoot() ([]ModelInfo, error) {
 		return nil, fmt.Errorf("service: warm boot requires an empty registry (%d entries present)", len(s.entries))
 	}
 	s.mu.Unlock()
+	rep := &BootReport{}
 	if s.opts.Store == nil {
 		s.ready.Store(true)
-		return nil, nil
+		s.boot.Store(rep)
+		return rep, nil
 	}
 	keys, err := s.opts.Store.List()
 	if err != nil {
@@ -604,10 +805,16 @@ func (s *Service) WarmBoot() ([]ModelInfo, error) {
 	}
 	versions := make(map[string][]int)
 	live := make(map[string]liveRecord)
+	corruptMarker := make(map[string]bool)
 	for _, key := range keys {
+		if strings.HasPrefix(key, quarantinePrefix) {
+			rep.Skipped++ // parked by an earlier boot; not ours to replay
+			continue
+		}
 		name, v, isArtifact, ok := parseKey(key)
 		if !ok {
-			continue // not one of ours (README in the store dir, ...)
+			rep.Skipped++ // not one of ours (README in the store dir, ...)
+			continue
 		}
 		if !isArtifact {
 			data, err := s.opts.Store.Get(key)
@@ -615,8 +822,16 @@ func (s *Service) WarmBoot() ([]ModelInfo, error) {
 				return nil, fmt.Errorf("service: warm boot: %w", err)
 			}
 			var rec liveRecord
-			if err := json.Unmarshal(data, &rec); err != nil {
-				return nil, fmt.Errorf("service: warm boot: live marker %q: %w", key, err)
+			if err := json.Unmarshal(data, &rec); err != nil || rec.Version <= 0 {
+				if err == nil {
+					err = fmt.Errorf("live marker names version %d", rec.Version)
+				}
+				// The marker is damaged but the artifacts may be fine:
+				// quarantine it and fall back to the highest intact
+				// version below.
+				s.quarantine(rep, key, data, err)
+				corruptMarker[name] = true
+				continue
 			}
 			live[name] = rec
 			continue
@@ -624,38 +839,48 @@ func (s *Service) WarmBoot() ([]ModelInfo, error) {
 		versions[name] = append(versions[name], v)
 	}
 
-	// Rebuild each entry's full version history in order.
+	// Rebuild each entry's version history. Versions that fail to
+	// decode are quarantined and leave holes; a model with no intact
+	// version at all is dropped (reported, not fatal).
 	names := make([]string, 0, len(versions))
 	for name := range versions {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	installed := make(map[string]bool)
 	for _, name := range names {
 		vs := versions[name]
 		sort.Ints(vs)
-		e := &entry{name: name}
-		for i, v := range vs {
-			if v != i+1 {
-				return nil, fmt.Errorf("service: warm boot: %q versions are not contiguous (missing v%d)", name, i+1)
-			}
-			data, err := s.opts.Store.Get(artifactKey(name, v))
+		maxV := vs[len(vs)-1]
+		e := &entry{name: name, versions: make([]*core.Model, maxV)}
+		for _, v := range vs {
+			key := artifactKey(name, v)
+			data, err := s.opts.Store.Get(key)
 			if err != nil {
 				return nil, fmt.Errorf("service: warm boot: %w", err)
 			}
 			m, err := artifact.Decode(data)
 			if err != nil {
-				return nil, fmt.Errorf("service: warm boot: %q v%d: %w", name, v, err)
+				s.quarantine(rep, key, data, err)
+				continue
 			}
 			if m.Version != v {
-				return nil, fmt.Errorf("service: warm boot: %q v%d: artifact claims version %d", name, v, m.Version)
+				s.quarantine(rep, key, data, fmt.Errorf("artifact claims version %d", m.Version))
+				continue
 			}
-			if i == 0 {
+			if e.kind == "" {
 				e.task, e.kind = m.Task, m.Name
 			} else if m.Task != e.task || m.Name != e.kind {
-				return nil, fmt.Errorf("service: warm boot: %q v%d: %s/%s does not match entry %s/%s",
-					name, v, m.Name, m.Task, e.kind, e.task)
+				s.quarantine(rep, key, data, fmt.Errorf("%s/%s does not match entry %s/%s",
+					m.Name, m.Task, e.kind, e.task))
+				continue
 			}
-			e.versions = append(e.versions, m)
+			e.versions[v-1] = m
+			rep.Loaded++
+		}
+		if e.available() == 0 {
+			rep.detailf("model %q has no intact versions; not registered", name)
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -664,32 +889,57 @@ func (s *Service) WarmBoot() ([]ModelInfo, error) {
 		}
 		s.entries[name] = e
 		s.mu.Unlock()
+		installed[name] = true
 	}
 
-	// A live marker whose model has no artifacts means lost data; fail
-	// as loudly as a version gap would, instead of reporting a healthy
-	// boot that silently 404s a recorded deployment.
+	// Restart the recorded live deployments, falling back to the
+	// highest intact version when the recorded one (or the marker
+	// itself) did not survive. A model whose artifacts are all gone is
+	// reported and skipped — a degraded node that serves its intact
+	// models beats a dead one.
+	markerNames := make([]string, 0, len(live)+len(corruptMarker))
 	for name := range live {
-		if _, ok := versions[name]; !ok {
-			return nil, fmt.Errorf("service: warm boot: live marker for %q but no artifacts", name)
-		}
+		markerNames = append(markerNames, name)
 	}
-
-	// Restart the recorded live deployments.
-	infos := make([]ModelInfo, 0, len(live))
-	for _, name := range names {
-		rec, ok := live[name]
-		if !ok {
+	for name := range corruptMarker {
+		markerNames = append(markerNames, name)
+	}
+	sort.Strings(markerNames)
+	for _, name := range markerNames {
+		if !installed[name] {
+			rep.detailf("live marker for %q but no intact artifacts; deployment lost", name)
 			continue
 		}
-		info, err := s.Deploy(name, rec.Version, rec.DeployOptions)
+		rec, hasRec := live[name]
+		target, dopts := rec.Version, rec.DeployOptions
+		e, err := s.entry(name)
 		if err != nil {
-			return nil, fmt.Errorf("service: warm boot: redeploy %q v%d: %w", name, rec.Version, err)
+			return nil, fmt.Errorf("service: warm boot: %w", err)
 		}
-		infos = append(infos, info)
+		e.mu.Lock()
+		intact := target >= 1 && target <= len(e.versions) && e.versions[target-1] != nil
+		fallback := e.latest()
+		e.mu.Unlock()
+		if !hasRec {
+			target, dopts = fallback, DeployOptions{}
+			rep.detailf("live marker for %q was damaged; deploying highest intact version v%d", name, target)
+		} else if !intact {
+			rep.detailf("live version v%d of %q is not intact; falling back to v%d", target, name, fallback)
+			target, dopts = fallback, DeployOptions{}
+		}
+		info, err := s.Deploy(name, target, dopts)
+		if err != nil {
+			// Deploying an intact version should only fail on store
+			// trouble (the live-marker write); leave the model cold and
+			// keep booting.
+			rep.detailf("redeploy %q v%d failed: %v", name, target, err)
+			continue
+		}
+		rep.Deployed = append(rep.Deployed, info)
 	}
 	s.ready.Store(true)
-	return infos, nil
+	s.boot.Store(rep)
+	return rep, nil
 }
 
 // entry looks a registry slot up.
@@ -721,7 +971,7 @@ func (e *entry) info(version int) ModelInfo {
 	return ModelInfo{
 		Name: e.name, Model: e.kind, Task: e.task.String(),
 		Classification: e.task.IsClassification(),
-		Version:        version, Versions: len(e.versions),
+		Version:        version, Versions: len(e.versions), Available: e.available(),
 		Live: liveV == version && liveV != 0, LiveVersion: liveV,
 		Deploy: deploy,
 	}

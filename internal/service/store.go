@@ -94,16 +94,52 @@ func (s *MemStore) Delete(key string) error {
 // collide with another). Writes go through a same-directory temp file
 // and rename, so a crash mid-Put never leaves a torn blob behind —
 // the property the artifact checksum then double-checks on read.
+//
+// Opening a store recovers from crashes: temp files a torn rename left
+// behind are swept, so they can neither accumulate nor ever surface
+// through List. Put retries the whole write sequence once, absorbing
+// transient failures (a momentarily flaky disk) without bothering the
+// registry layer.
 type DirStore struct {
 	dir string
+
+	// Write-path seams, swappable by fault-injection tests; production
+	// stores use the os functions.
+	createTemp func(dir, pattern string) (*os.File, error)
+	rename     func(oldpath, newpath string) error
 }
 
-// NewDirStore creates (if needed) and opens a directory-backed store.
+// NewDirStore creates (if needed) and opens a directory-backed store,
+// sweeping any temp files a previous crash left mid-rename.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: store dir: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	s := &DirStore{dir: dir, createTemp: os.CreateTemp, rename: os.Rename}
+	if err := s.sweepTemps(); err != nil {
+		return nil, fmt.Errorf("service: store dir: sweep temp files: %w", err)
+	}
+	return s, nil
+}
+
+// sweepTemps removes leftover in-flight temp files. Every completed
+// Put has already renamed its temp away, so anything still carrying
+// the prefix is debris from a crash mid-write and its final blob was
+// never committed — deleting it loses nothing.
+func (s *DirStore) sweepTemps() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasPrefix(ent.Name(), tmpPrefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, ent.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
 }
 
 // Dir returns the backing directory.
@@ -114,9 +150,20 @@ const tmpPrefix = ".tmp-"
 
 // Put implements Store (atomic and durable: temp file, fsync, rename,
 // directory fsync — so a post-Put crash can neither tear the blob nor
-// lose the rename).
+// lose the rename). A failed write sequence is retried once from the
+// top, so a transient fault costs a retry instead of a failed deploy;
+// a persistent fault still surfaces.
 func (s *DirStore) Put(key string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	err := s.putOnce(key, data)
+	if err != nil {
+		err = s.putOnce(key, data)
+	}
+	return err
+}
+
+// putOnce is one temp-write-fsync-rename attempt.
+func (s *DirStore) putOnce(key string, data []byte) error {
+	tmp, err := s.createTemp(s.dir, tmpPrefix+"*")
 	if err != nil {
 		return err
 	}
@@ -137,7 +184,7 @@ func (s *DirStore) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	if err := s.rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -225,17 +226,20 @@ func TestPersistenceRestart(t *testing.T) {
 	if s2.Ready() {
 		t.Fatal("restarted service claims ready before WarmBoot")
 	}
-	infos, err := s2.WarmBoot()
+	rep, err := s2.WarmBoot()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !s2.Ready() {
 		t.Fatal("not ready after WarmBoot")
 	}
-	if len(infos) != 1 {
-		t.Fatalf("warm boot deployed %d models, want 1", len(infos))
+	if rep.Degraded || len(rep.Details) != 0 {
+		t.Fatalf("clean store produced a degraded boot report: %+v", rep)
 	}
-	info := infos[0]
+	if len(rep.Deployed) != 1 {
+		t.Fatalf("warm boot deployed %d models, want 1", len(rep.Deployed))
+	}
+	info := rep.Deployed[0]
 	if info.Name != "errors" || info.LiveVersion != 2 || info.Versions != 2 {
 		t.Fatalf("warm boot info = %+v", info)
 	}
@@ -274,9 +278,11 @@ func TestPersistenceRestart(t *testing.T) {
 	}
 }
 
-// TestWarmBootValidation covers the guard rails: non-empty registries
-// are refused, corrupt artifacts and markers surface errors, foreign
-// keys are ignored.
+// TestWarmBootValidation covers the boot-path guard rails and
+// degradation semantics: non-empty registries are refused, foreign keys
+// are skipped, corrupt artifacts are quarantined (not fatal), version
+// holes from GC load fine, and a live marker with no artifacts degrades
+// the boot instead of killing it.
 func TestWarmBootValidation(t *testing.T) {
 	store := NewMemStore()
 	s := New(Options{Serve: serve.Options{Replicas: 1}, Store: store})
@@ -288,51 +294,198 @@ func TestWarmBootValidation(t *testing.T) {
 	if _, err := s.Register("errors", m); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := s.Register("errors", m); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.WarmBoot(); err == nil {
 		t.Fatal("WarmBoot accepted a non-empty registry")
 	}
-
-	// Foreign keys must not break a boot.
-	store2 := NewMemStore()
 	data, _ := store.Get(artifactKey("errors", 1))
+	data2, _ := store.Get(artifactKey("errors", 2))
+
+	// Foreign keys must not break a boot; they count as skipped.
+	store2 := NewMemStore()
 	store2.Put(artifactKey("errors", 1), data)
 	store2.Put("README", []byte("not ours"))
 	s2 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store2})
 	defer s2.Close()
-	if _, err := s2.WarmBoot(); err != nil {
+	rep2, err := s2.WarmBoot()
+	if err != nil {
 		t.Fatalf("foreign key broke warm boot: %v", err)
+	}
+	if rep2.Skipped != 1 || rep2.Loaded != 1 {
+		t.Fatalf("boot report = %+v, want skipped=1 loaded=1", rep2)
 	}
 	if models := s2.Models(); len(models) != 1 || models[0].Versions != 1 || models[0].LiveVersion != 0 {
 		t.Fatalf("Models() after boot = %+v", models)
 	}
 
-	// A corrupt artifact must fail the boot loudly, not silently skip.
+	// A corrupt artifact is quarantined — the boot degrades, the blob
+	// moves under quarantine/, and the version becomes a hole.
 	store3 := NewMemStore()
 	garbled := append([]byte(nil), data...)
 	garbled[len(garbled)/2] ^= 0x20
 	store3.Put(artifactKey("errors", 1), garbled)
 	s3 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store3})
 	defer s3.Close()
-	if _, err := s3.WarmBoot(); err == nil {
-		t.Fatal("WarmBoot accepted a corrupt artifact")
+	rep3, err := s3.WarmBoot()
+	if err != nil {
+		t.Fatalf("corrupt artifact killed the boot: %v", err)
+	}
+	if !rep3.Degraded || rep3.Quarantined != 1 || rep3.Loaded != 0 {
+		t.Fatalf("boot report = %+v, want degraded, quarantined=1", rep3)
+	}
+	if !s3.Ready() {
+		t.Fatal("degraded boot did not reach ready")
+	}
+	if models := s3.Models(); len(models) != 0 {
+		t.Fatalf("corrupt-only model still registered: %+v", models)
+	}
+	if _, err := store3.Get(artifactKey("errors", 1)); !errors.Is(err, ErrNoKey) {
+		t.Fatal("corrupt blob left under its original key")
+	}
+	if _, err := store3.Get(quarantinePrefix + artifactKey("errors", 1)); err != nil {
+		t.Fatalf("corrupt blob not preserved under quarantine/: %v", err)
+	}
+	// The quarantined blob is skipped (not re-quarantined) next boot.
+	s3b := New(Options{Serve: serve.Options{Replicas: 1}, Store: store3})
+	defer s3b.Close()
+	rep3b, err := s3b.WarmBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3b.Quarantined != 0 || rep3b.Skipped != 1 {
+		t.Fatalf("reboot over quarantined store = %+v, want skipped=1 quarantined=0", rep3b)
 	}
 
-	// A version gap means lost data: refuse to pretend otherwise.
+	// A version hole (v1 GC-pruned, only v2 present) is a legitimate
+	// store state: v2 loads and deploys.
 	store4 := NewMemStore()
-	store4.Put(artifactKey("errors", 2), data)
+	store4.Put(artifactKey("errors", 2), data2)
 	s4 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store4})
 	defer s4.Close()
-	if _, err := s4.WarmBoot(); err == nil {
-		t.Fatal("WarmBoot accepted a non-contiguous version history")
+	rep4, err := s4.WarmBoot()
+	if err != nil {
+		t.Fatalf("version hole broke warm boot: %v", err)
+	}
+	if rep4.Loaded != 1 {
+		t.Fatalf("boot report = %+v, want loaded=1", rep4)
+	}
+	if models := s4.Models(); len(models) != 1 || models[0].Versions != 2 || models[0].Available != 1 {
+		t.Fatalf("Models() after holey boot = %+v", models)
+	}
+	if info, err := s4.Deploy("errors", 0); err != nil || info.LiveVersion != 2 {
+		t.Fatalf("Deploy(latest) over hole = %+v, %v", info, err)
+	}
+	if _, err := s4.Deploy("errors", 1); err == nil {
+		t.Fatal("Deploy resurrected a pruned version")
 	}
 
-	// So does a live marker whose artifacts are gone.
+	// A live marker whose artifacts are all gone degrades the boot:
+	// the deployment is reported lost, the node still comes up.
 	store5 := NewMemStore()
 	store5.Put(liveKey("errors"), []byte(`{"version":1}`))
 	s5 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store5})
 	defer s5.Close()
-	if _, err := s5.WarmBoot(); err == nil {
-		t.Fatal("WarmBoot accepted a live marker with no artifacts")
+	rep5, err := s5.WarmBoot()
+	if err != nil {
+		t.Fatalf("orphan live marker killed the boot: %v", err)
+	}
+	if !rep5.Degraded || len(rep5.Deployed) != 0 {
+		t.Fatalf("boot report = %+v, want degraded with no deployments", rep5)
+	}
+	if !s5.Ready() {
+		t.Fatal("node with lost deployment did not reach ready")
+	}
+}
+
+// TestWarmBootCorruptMarkerFallback is the live-marker half of the
+// quarantine story: a damaged marker (garbage JSON) or a marker naming
+// a version that did not survive falls back to the model's highest
+// intact version, bit-identically.
+func TestWarmBootCorruptMarkerFallback(t *testing.T) {
+	store := NewMemStore()
+	s := New(Options{Serve: serve.Options{Replicas: 1}, Store: store})
+	m := trainCCNN(t, core.ErrorClassification)
+	if _, err := s.WarmBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap("errors", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap("errors", m); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	probe := testStatements(1)[0]
+	want, err := s.Predict(ctx, "errors", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Garbage where the marker should be: quarantine it, deploy the
+	// highest intact version anyway.
+	store.Put(liveKey("errors"), []byte("{definitely not json"))
+	s2 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store})
+	defer s2.Close()
+	rep, err := s2.WarmBoot()
+	if err != nil {
+		t.Fatalf("corrupt live marker killed the boot: %v", err)
+	}
+	if !rep.Degraded || rep.Quarantined != 1 {
+		t.Fatalf("boot report = %+v, want degraded, quarantined=1", rep)
+	}
+	if len(rep.Deployed) != 1 || rep.Deployed[0].LiveVersion != 2 {
+		t.Fatalf("fallback deployed %+v, want v2 live", rep.Deployed)
+	}
+	if _, err := store.Get(quarantinePrefix + liveKey("errors")); err != nil {
+		t.Fatalf("damaged marker not preserved under quarantine/: %v", err)
+	}
+	got, err := s2.Predict(ctx, "errors", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || len(got.Probs) != len(want.Probs) {
+		t.Fatalf("fallback prediction = %+v, want %+v", got, want)
+	}
+	for c := range want.Probs {
+		if got.Probs[c] != want.Probs[c] {
+			t.Fatal("fallback predictions are not bit-identical")
+		}
+	}
+	s2.Close()
+
+	// A marker pointing at a version that was quarantined this boot:
+	// same fallback, this time to v1.
+	store6 := NewMemStore()
+	keys, _ := store.List()
+	for _, k := range keys {
+		if strings.HasPrefix(k, quarantinePrefix) {
+			continue
+		}
+		data, err := store.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store6.Put(k, data)
+	}
+	v2key := artifactKey("errors", 2)
+	blob, _ := store6.Get(v2key)
+	blob[len(blob)/2] ^= 0x20
+	store6.Put(v2key, blob)
+	store6.Put(liveKey("errors"), []byte(`{"version":2}`))
+	s6 := New(Options{Serve: serve.Options{Replicas: 1}, Store: store6})
+	defer s6.Close()
+	rep6, err := s6.WarmBoot()
+	if err != nil {
+		t.Fatalf("quarantined live version killed the boot: %v", err)
+	}
+	if !rep6.Degraded || rep6.Quarantined != 1 {
+		t.Fatalf("boot report = %+v, want degraded, quarantined=1", rep6)
+	}
+	if len(rep6.Deployed) != 1 || rep6.Deployed[0].LiveVersion != 1 {
+		t.Fatalf("fallback deployed %+v, want v1 live", rep6.Deployed)
 	}
 }
 

@@ -168,6 +168,11 @@ var (
 	// ErrNotDeployed is returned for Service predictions against a
 	// registered model with no live version.
 	ErrNotDeployed = service.ErrNotDeployed
+	// ErrPanicked is returned for the individual requests whose
+	// inference panicked; the replica pool recovers the panic, keeps
+	// serving everything else, and rebuilds replicas that panic
+	// repeatedly.
+	ErrPanicked = serve.ErrPanicked
 )
 
 // Service is the deployment layer over Predictor pools: a named,
@@ -195,6 +200,15 @@ const (
 
 // ModelInfo describes one registered model version.
 type ModelInfo = service.ModelInfo
+
+// BootReport is WarmBoot's account of a store replay: what loaded,
+// what was quarantined as damaged, what was skipped, and whether the
+// node is serving in a degraded state. Also exposed by /v1/healthz.
+type BootReport = service.BootReport
+
+// GCResult is one model's outcome of a retention pass
+// (Service.GC / POST /v1/admin/gc / ServiceOptions.Retain).
+type GCResult = service.GCResult
 
 // Prediction is one task-appropriate Service prediction with its
 // model-name and snapshot-version provenance.
@@ -253,7 +267,14 @@ var (
 	// ErrClientUnavailable: the server is warming up, draining, or
 	// closed (HTTP 503).
 	ErrClientUnavailable = client.ErrUnavailable
+	// ErrClientCircuitOpen: the client's per-endpoint circuit breaker
+	// is open and refused the call without a network round trip.
+	ErrClientCircuitOpen = client.ErrCircuitOpen
 )
+
+// BreakerStats is one endpoint's circuit-breaker state snapshot, as
+// returned by Client.Breakers.
+type BreakerStats = client.BreakerStats
 
 // FineTune continues training a neural model on a new workload (the
 // transfer-learning extension of Section 8). Do not fine-tune a model
