@@ -613,6 +613,69 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictClassBatch measures the fused n-row forward pass
+// directly at the core layer — one PredictClassBatch call over a batch
+// of distinct statements, reported per statement — against which the
+// per-example path (BenchmarkPredictClass) shows the batching win
+// without any serving-layer overhead. Warm path is 0 allocs/op.
+func BenchmarkPredictClassBatch(b *testing.B) {
+	env := getBenchEnv(b)
+	stmts := make([]string, 16)
+	for i := range stmts {
+		stmts[i] = env.SDSSSplit.Test[i%len(env.SDSSSplit.Test)].Statement
+	}
+	for _, name := range []string{"ccnn", "clstm"} {
+		m, err := env.Model(name, core.ErrorClassification, experiments.HomoInstance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			dst := m.PredictClassBatch(stmts, nil) // warm the batch scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = m.PredictClassBatch(stmts, dst)
+			}
+			b.StopTimer()
+			nsPerStmt := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(stmts))
+			b.ReportMetric(nsPerStmt, "ns/stmt")
+		})
+	}
+}
+
+// BenchmarkServeBatchedThroughput measures aggregate throughput with
+// 16 concurrent clients per core when replica workers fuse same-kind
+// queued requests into one n-row forward pass; maxbatch=1 disables
+// fusing and is the per-request baseline. eff-batch reports the
+// completed-weighted mean fused width actually observed.
+func BenchmarkServeBatchedThroughput(b *testing.B) {
+	env := getBenchEnv(b)
+	q := "SELECT p.objid, p.ra FROM PhotoObj AS p WHERE p.ra BETWEEN 150 AND 152"
+	for _, name := range []string{"ccnn", "clstm"} {
+		m, err := env.Model(name, core.ErrorClassification, experiments.HomoInstance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, maxBatch := range []int{1, 32} {
+			b.Run(fmt.Sprintf("%s/maxbatch=%d", name, maxBatch), func(b *testing.B) {
+				p := serve.NewPredictor(m, serve.Options{Replicas: 1, MaxBatch: maxBatch, QueueSize: 256})
+				defer p.Close()
+				b.SetParallelism(16)
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						p.PredictClass(q)
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "served/s")
+				b.ReportMetric(p.Stats().EffectiveBatch, "eff-batch")
+			})
+		}
+	}
+}
+
 func BenchmarkTFIDFPredict(b *testing.B) {
 	env := getBenchEnv(b)
 	m, err := env.Model("ctfidf", ErrorClassification, experiments.HomoInstance)

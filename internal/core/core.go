@@ -183,6 +183,13 @@ type Model struct {
 
 	probs func(stmt string) []float64 // classification
 	value func(stmt string) float64   // regression, log-space
+	// forwardBatch runs the neural network over a whole micro-batch as
+	// n-row matrices, returning raw logits (n×outDim row-major in
+	// model-owned scratch). Nil for non-neural models, which fall back
+	// to per-statement loops in the Batch methods.
+	forwardBatch func(stmts []string) (out []float64, outDim int)
+	// bprobs is PredictClassBatch's softmax scratch.
+	bprobs []float64
 	// LogMin inverts the log transform for regression models.
 	LogMin float64
 

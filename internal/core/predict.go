@@ -28,6 +28,16 @@ func growFloats(buf *[]float64, n int) []float64 {
 	return *buf
 }
 
+// growInts resizes *buf to length n, reusing capacity when possible.
+// Contents are unspecified; callers overwrite.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // bindNeuralPredict (re)builds the model's prediction closures around
 // its neural backend with fresh per-instance scratch: a fused
 // tokenize+encode sqllex.Encoder and a softmax output buffer. The warm
@@ -37,6 +47,42 @@ func (m *Model) bindNeuralPredict() {
 	backend := m.neural
 	word := len(m.Name) > 0 && m.Name[0] == 'w'
 	enc := sqllex.NewEncoder(backend.vocab, word, m.maxLen)
+	if bm, ok := backend.model.(nn.BatchModel); ok {
+		// The fused batch forward: encode every statement (copying the
+		// ids out of the encoder's reused scratch into one flat buffer)
+		// and run the whole group through the network as n-row matrices.
+		// The predict hook fires per statement before any network work,
+		// matching the scalar closures' hook-then-forward order; a
+		// poisoned statement therefore panics the fused call before
+		// results exist, and the serving layer retries per request.
+		var (
+			idsFlat []int
+			lens    []int
+			rows    [][]int
+		)
+		m.forwardBatch = func(stmts []string) ([]float64, int) {
+			idsFlat = idsFlat[:0]
+			lens = lens[:0]
+			for _, stmt := range stmts {
+				if m.predictHook != nil {
+					m.predictHook(stmt)
+				}
+				ids := enc.Encode(stmt)
+				idsFlat = append(idsFlat, ids...)
+				lens = append(lens, len(ids))
+			}
+			if cap(rows) < len(stmts) {
+				rows = make([][]int, len(stmts))
+			}
+			rows = rows[:len(stmts)]
+			off := 0
+			for r, l := range lens {
+				rows[r] = idsFlat[off : off+l]
+				off += l
+			}
+			return bm.ForwardBatch(rows)
+		}
+	}
 	if m.Task.IsClassification() {
 		var probs []float64
 		m.probs = func(stmt string) []float64 {
@@ -55,6 +101,91 @@ func (m *Model) bindNeuralPredict() {
 		out, _ := backend.model.Forward(enc.Encode(stmt), false, nil)
 		return out[0]
 	}
+}
+
+// ProbsBatchInto computes the class distributions for a batch of
+// statements, writing row i into dst[i] (reusing each row's backing
+// array like ProbsInto) and returning the resized dst. Neural models
+// run the whole batch through the network as n-row matrices — one
+// fused forward instead of len(stmts) — with each row bit-identical to
+// ProbsInto on that statement; non-neural models and batches of fewer
+// than two statements fall back to the scalar path. Returns nil for
+// regression models. Not safe for concurrent use (see Model).
+func (m *Model) ProbsBatchInto(stmts []string, dst [][]float64) [][]float64 {
+	if m.probs == nil {
+		return nil
+	}
+	if cap(dst) < len(stmts) {
+		grown := make([][]float64, len(stmts))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(stmts)]
+	if m.forwardBatch == nil || len(stmts) < 2 {
+		for i, stmt := range stmts {
+			dst[i] = append(dst[i][:0], m.probs(stmt)...)
+		}
+		return dst
+	}
+	out, outDim := m.forwardBatch(stmts)
+	for i := range stmts {
+		row := growFloats(&dst[i], outDim)
+		nn.SoftmaxInto(out[i*outDim:(i+1)*outDim], row)
+	}
+	return dst
+}
+
+// PredictClassBatch computes the argmax class for a batch of
+// statements into dst (reusing its capacity) and returns the resized
+// dst. Neural models use one fused batch forward; each element is
+// bit-identical to PredictClass on that statement (argmax over the
+// softmax distribution, exactly like the scalar path). Not safe for
+// concurrent use (see Model).
+func (m *Model) PredictClassBatch(stmts []string, dst []int) []int {
+	if m.probs == nil {
+		return nil
+	}
+	dst = growInts(&dst, len(stmts))
+	if m.forwardBatch == nil || len(stmts) < 2 {
+		for i, stmt := range stmts {
+			dst[i] = m.PredictClass(stmt)
+		}
+		return dst
+	}
+	out, outDim := m.forwardBatch(stmts)
+	probs := growFloats(&m.bprobs, outDim)
+	for i := range stmts {
+		// Softmax-then-argmax, matching PredictClass: rounding in the
+		// softmax can merge distinct logits into equal probabilities,
+		// so argmax over raw logits could break first-max ties
+		// differently.
+		nn.SoftmaxInto(out[i*outDim:(i+1)*outDim], probs)
+		dst[i] = argmax(probs)
+	}
+	return dst
+}
+
+// PredictLogBatchInto computes log-space regression predictions for a
+// batch of statements into dst (reusing its capacity) and returns the
+// resized dst. Neural models use one fused batch forward; each element
+// is bit-identical to PredictLog on that statement. Returns nil for
+// classification models. Not safe for concurrent use (see Model).
+func (m *Model) PredictLogBatchInto(stmts []string, dst []float64) []float64 {
+	if m.value == nil {
+		return nil
+	}
+	dst = growFloats(&dst, len(stmts))
+	if m.forwardBatch == nil || len(stmts) < 2 {
+		for i, stmt := range stmts {
+			dst[i] = m.value(stmt)
+		}
+		return dst
+	}
+	out, outDim := m.forwardBatch(stmts)
+	for i := range stmts {
+		dst[i] = out[i*outDim]
+	}
+	return dst
 }
 
 // Replicate returns a predictor that shares m's trained weights but

@@ -1,7 +1,9 @@
 // Package f64 provides the small dense float64 math kernels behind
 // the hot paths of internal/nn: dot products, scaled vector updates,
-// matrix–vector products, and the small GEMM shapes used by the
-// sequence-level LSTM input transform. The kernels are plain Go —
+// matrix–vector products, the small GEMM shapes used by the
+// sequence-level LSTM input transform, and the vectorized
+// transcendentals (ExpV, TanhV, SigmoidV — see vecmath.go) behind the
+// batched gate nonlinearities. The kernels are plain Go —
 // no assembly, no unsafe — but are written for throughput on modern
 // cores: 4-way unrolled inner loops with independent accumulator
 // lanes (breaking the loop-carried add dependency) and slice
@@ -215,23 +217,46 @@ func GemvT(dst, a, x []float64) {
 // Row i of C accumulates A[i,l]·B[l,:] in increasing l, four terms at
 // a time; leftover terms with A[i,l] == 0 are skipped.
 func Gemm(c, a, b []float64, m, n, k int) {
+	GemmS(c, a, k, b, m, n, k)
+}
+
+// GemmS computes C += A·B like Gemm, but reads A's rows with an
+// explicit stride lda ≥ k: row i is a[i*lda : i*lda+k]. Overlapping
+// windows of one packed buffer can thereby act as matrix rows — the
+// copy-free im2col lowering the convolution layer uses — and the
+// per-element accumulation order is identical to Gemm's, so the two
+// are bit-identical on the same logical operands.
+func GemmS(c, a []float64, lda int, b []float64, m, n, k int) {
+	GemmSW(c, n, a, lda, b, n, m, n, k)
+}
+
+// GemmSW computes C += A·B on the leading w columns only: C rows have
+// physical stride ldc (row i is c[i*ldc : i*ldc+w]), B rows stride ldb,
+// and columns [w, stride) of both are neither read nor written. A is
+// read as in GemmS (row i is a[i*lda : i*lda+k]). Because every output
+// element depends only on its own row of A and column of B, narrowing
+// w drops whole elements but never reorders a surviving element's
+// terms: C[:, :w] is bit-identical to the same columns of the
+// full-width product. This is what lets the batched LSTM shrink a
+// ragged batch's working width as short lanes finish.
+func GemmSW(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, w, k int) {
 	for i := 0; i < m; i++ {
-		ci := c[i*n : i*n+n]
-		ai := a[i*k : i*k+k]
+		ci := c[i*ldc : i*ldc+w]
+		ai := a[i*lda : i*lda+k]
 		l := 0
 		for ; l <= k-4; l += 4 {
 			a0, a1, a2, a3 := ai[l], ai[l+1], ai[l+2], ai[l+3]
-			b0 := b[l*n : l*n+n]
-			b1 := b[(l+1)*n : (l+1)*n+n]
-			b2 := b[(l+2)*n : (l+2)*n+n]
-			b3 := b[(l+3)*n : (l+3)*n+n]
+			b0 := b[l*ldb : l*ldb+w]
+			b1 := b[(l+1)*ldb : (l+1)*ldb+w]
+			b2 := b[(l+2)*ldb : (l+2)*ldb+w]
+			b3 := b[(l+3)*ldb : (l+3)*ldb+w]
 			for j := range ci {
 				ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
 		}
 		for ; l < k; l++ {
 			if al := ai[l]; al != 0 {
-				Axpy(al, b[l*n:l*n+n], ci)
+				Axpy(al, b[l*ldb:l*ldb+w], ci)
 			}
 		}
 	}

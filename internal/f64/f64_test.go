@@ -271,6 +271,39 @@ func TestGemm(t *testing.T) {
 	}
 }
 
+func TestGemmSWPrefix(t *testing.T) {
+	// GemmSW on a column prefix must reproduce the full product's
+	// leading w columns bit-for-bit and leave every other element of C
+	// untouched — the contract the batched LSTM's per-step width
+	// narrowing relies on.
+	rng := rand.New(rand.NewSource(13))
+	for _, dims := range [][4]int{{1, 1, 1, 1}, {2, 3, 4, 2}, {5, 7, 3, 7}, {9, 17, 13, 5}, {48, 16, 12, 12}, {6, 8, 5, 1}} {
+		m, n, k, w := dims[0], dims[1], dims[2], dims[3]
+		a, b := randVec(rng, m*k), randVec(rng, k*n)
+		if m*k > 0 {
+			a[0] = 0 // exercise the zero-skip path
+		}
+		full := randVec(rng, m*n)
+		pref := make([]float64, m*n)
+		copy(pref, full)
+		orig := make([]float64, m*n)
+		copy(orig, full)
+		GemmS(full, a, k, b, m, n, k)
+		GemmSW(pref, n, a, k, b, n, m, w, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want := orig[i*n+j]
+				if j < w {
+					want = full[i*n+j]
+				}
+				if got := pref[i*n+j]; got != want {
+					t.Fatalf("m=%d n=%d k=%d w=%d: GemmSW[%d,%d] = %v, want %v", m, n, k, w, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestGemmTN(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, dims := range [][3]int{{0, 3, 2}, {1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {4, 4, 0}, {9, 17, 13}} {

@@ -1,0 +1,291 @@
+package f64
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ulpDiff returns the distance in representable float64 steps between
+// two finite same-sign values (0 when bit-equal).
+func ulpDiff(a, b float64) uint64 {
+	ab, bb := math.Float64bits(a), math.Float64bits(b)
+	// Map to a monotone integer line so the difference counts
+	// representable values even across the ±0 boundary.
+	order := func(u uint64) int64 {
+		if u&(1<<63) != 0 {
+			return -int64(u &^ (1 << 63))
+		}
+		return int64(u)
+	}
+	d := order(ab) - order(bb)
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// sigmoidRef is the straightforward libm logistic, branch-matched to
+// sigmoid1 so the comparison measures the exp core, not the algebraic
+// rearrangement.
+func sigmoidRef(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// testArgs returns a deterministic sweep of arguments: dense coverage
+// of the gate-activation range, log-spaced magnitudes out to the
+// over/underflow fringes, and the exact branch cutoffs.
+func testArgs() []float64 {
+	rng := rand.New(rand.NewSource(7))
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		xs = append(xs, (rng.Float64()-0.5)*40) // typical pre-activations
+	}
+	for i := 0; i < 4000; i++ {
+		m := math.Pow(10, rng.Float64()*6-3) // 1e-3 .. 1e3
+		if rng.Intn(2) == 0 {
+			m = -m
+		}
+		xs = append(xs, m)
+	}
+	for _, c := range []float64{
+		0, 0.625, 0.6249999, 19.06, 20, 21, 708, 708.0000001, 709,
+		709.782712893384, 709.7827128933841, 710, 745, 745.1332191019412, 746,
+		1e-300, 5e-324, 2.2250738585072014e-308, // subnormal / min-normal
+	} {
+		xs = append(xs, c, -c)
+	}
+	return xs
+}
+
+func TestExpVAccuracy(t *testing.T) {
+	xs := testArgs()
+	got := make([]float64, len(xs))
+	ExpV(got, xs)
+	var worst uint64
+	for i, x := range xs {
+		want := math.Exp(x)
+		g := got[i]
+		if math.IsInf(want, 1) || want == 0 {
+			if g != want {
+				t.Fatalf("ExpV(%g) = %g, want %g", x, g, want)
+			}
+			continue
+		}
+		if d := ulpDiff(g, want); d > worst {
+			worst = d
+			if d > 4 {
+				t.Fatalf("ExpV(%g) = %g, want %g (%d ULP)", x, g, want, d)
+			}
+		}
+	}
+	t.Logf("ExpV worst case vs math.Exp: %d ULP over %d args", worst, len(xs))
+}
+
+func TestTanhVAccuracy(t *testing.T) {
+	xs := testArgs()
+	got := make([]float64, len(xs))
+	TanhV(got, xs)
+	var worst uint64
+	for i, x := range xs {
+		want := math.Tanh(x)
+		g := got[i]
+		if g < -1 || g > 1 {
+			t.Fatalf("TanhV(%g) = %g out of [-1,1]", x, g)
+		}
+		if d := ulpDiff(g, want); d > worst {
+			worst = d
+			if d > 8 {
+				t.Fatalf("TanhV(%g) = %g, want %g (%d ULP)", x, g, want, d)
+			}
+		}
+	}
+	t.Logf("TanhV worst case vs math.Tanh: %d ULP over %d args", worst, len(xs))
+}
+
+func TestSigmoidVAccuracy(t *testing.T) {
+	xs := testArgs()
+	got := make([]float64, len(xs))
+	SigmoidV(got, xs)
+	var worst uint64
+	for i, x := range xs {
+		want := sigmoidRef(x)
+		g := got[i]
+		if g < 0 || g > 1 {
+			t.Fatalf("SigmoidV(%g) = %g out of [0,1]", x, g)
+		}
+		if d := ulpDiff(g, want); d > worst {
+			worst = d
+			if d > 8 {
+				t.Fatalf("SigmoidV(%g) = %g, want %g (%d ULP)", x, g, want, d)
+			}
+		}
+	}
+	t.Logf("SigmoidV worst case vs libm logistic: %d ULP over %d args", worst, len(xs))
+}
+
+// TestVecmathSpecials pins the IEEE special cases the accuracy sweeps
+// can only check by value: NaN propagation, infinities, signed zero,
+// and subnormals.
+func TestVecmathSpecials(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	denorm := 5e-324
+	xs := []float64{nan, inf, -inf, 0, math.Copysign(0, -1), denorm, -denorm, 1000, -1000}
+
+	exps := make([]float64, len(xs))
+	ExpV(exps, xs)
+	for i, want := range []float64{nan, inf, 0, 1, 1, 1, 1, inf, 0} {
+		if math.IsNaN(want) != math.IsNaN(exps[i]) || (!math.IsNaN(want) && exps[i] != want) {
+			t.Errorf("ExpV(%g) = %g, want %g", xs[i], exps[i], want)
+		}
+	}
+
+	tanhs := make([]float64, len(xs))
+	TanhV(tanhs, xs)
+	for i, want := range []float64{nan, 1, -1, 0, math.Copysign(0, -1), denorm, -denorm, 1, -1} {
+		g := tanhs[i]
+		switch {
+		case math.IsNaN(want):
+			if !math.IsNaN(g) {
+				t.Errorf("TanhV(NaN) = %g, want NaN", g)
+			}
+		case g != want || math.Signbit(g) != math.Signbit(want):
+			t.Errorf("TanhV(%g) = %g, want %g", xs[i], g, want)
+		}
+	}
+
+	sigs := make([]float64, len(xs))
+	SigmoidV(sigs, xs)
+	for i, want := range []float64{nan, 1, 0, 0.5, 0.5, 0.5, 0.5, 1, 0} {
+		g := sigs[i]
+		switch {
+		case math.IsNaN(want):
+			if !math.IsNaN(g) {
+				t.Errorf("SigmoidV(NaN) = %g, want NaN", g)
+			}
+		case g != want:
+			t.Errorf("SigmoidV(%g) = %g, want %g", xs[i], g, want)
+		}
+	}
+}
+
+// TestVecmathElementPurity verifies the rounding contract that batched
+// inference relies on: each output element depends only on its input
+// element, so any block decomposition of a call is bit-identical.
+func TestVecmathElementPurity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 257) // deliberately not a multiple of 4
+	for i := range x {
+		x[i] = (rng.Float64() - 0.5) * 60
+	}
+	x[3] = 800            // slow-path element inside a 4-lane block
+	x[100] = math.Inf(-1) // special inside a block
+	for _, fn := range []struct {
+		name string
+		f    func(dst, x []float64)
+	}{{"ExpV", ExpV}, {"TanhV", TanhV}, {"SigmoidV", SigmoidV}} {
+		whole := make([]float64, len(x))
+		fn.f(whole, x)
+		pieces := make([]float64, len(x))
+		for lo := 0; lo < len(x); {
+			hi := lo + 1 + rng.Intn(7)
+			if hi > len(x) {
+				hi = len(x)
+			}
+			fn.f(pieces[lo:hi], x[lo:hi])
+			lo = hi
+		}
+		for i := range x {
+			if math.Float64bits(whole[i]) != math.Float64bits(pieces[i]) {
+				t.Fatalf("%s element %d differs between whole-slice and blocked evaluation", fn.name, i)
+			}
+		}
+	}
+}
+
+// TestVecmathAllocFree guards the warm-path allocation contract.
+func TestVecmathAllocFree(t *testing.T) {
+	x := make([]float64, 512)
+	dst := make([]float64, 512)
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	for _, fn := range []struct {
+		name string
+		f    func(dst, x []float64)
+	}{{"ExpV", ExpV}, {"TanhV", TanhV}, {"SigmoidV", SigmoidV}} {
+		if allocs := testing.AllocsPerRun(100, func() { fn.f(dst, x) }); allocs != 0 {
+			t.Errorf("%s allocs/op = %v, want 0", fn.name, allocs)
+		}
+	}
+}
+
+// benchArgs spreads arguments across the branch ranges the LSTM gates
+// actually exercise.
+func benchArgs(n int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = (rng.Float64() - 0.5) * 12
+	}
+	return x
+}
+
+func BenchmarkExpV(b *testing.B) {
+	x := benchArgs(1024)
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(x)))
+	for i := 0; i < b.N; i++ {
+		ExpV(dst, x)
+	}
+}
+
+func BenchmarkExpStd(b *testing.B) {
+	x := benchArgs(1024)
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(x)))
+	for i := 0; i < b.N; i++ {
+		for j, v := range x {
+			dst[j] = math.Exp(v)
+		}
+	}
+}
+
+func BenchmarkTanhV(b *testing.B) {
+	x := benchArgs(1024)
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(x)))
+	for i := 0; i < b.N; i++ {
+		TanhV(dst, x)
+	}
+}
+
+func BenchmarkTanhStd(b *testing.B) {
+	x := benchArgs(1024)
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(x)))
+	for i := 0; i < b.N; i++ {
+		for j, v := range x {
+			dst[j] = math.Tanh(v)
+		}
+	}
+}
+
+func BenchmarkSigmoidV(b *testing.B) {
+	x := benchArgs(1024)
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(x)))
+	for i := 0; i < b.N; i++ {
+		SigmoidV(dst, x)
+	}
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchTestModels builds one small model per kind with deterministic
+// weights.
+func batchTestModels() map[string]BatchModel {
+	return map[string]BatchModel{
+		"cnn-class": NewCNN(CNNConfig{
+			Vocab: 60, Embed: 8, Widths: []int{2, 3}, Kernels: 4,
+			Dropout: 0.5, Outputs: 5,
+		}, rand.New(rand.NewSource(1))),
+		"lstm-class": NewLSTM(LSTMConfig{
+			Vocab: 60, Embed: 8, Hidden: 12, Layers: 2, Outputs: 5,
+		}, rand.New(rand.NewSource(2))),
+		"lstm-reg": NewLSTM(LSTMConfig{
+			Vocab: 60, Embed: 8, Hidden: 12, Layers: 3, Outputs: 1,
+		}, rand.New(rand.NewSource(3))),
+	}
+}
+
+// batchTestIDs is a mixed-length batch: ragged lengths, an empty
+// sequence, sequences shorter than the widest conv window, repeats,
+// and out-of-vocabulary ids.
+func batchTestIDs() [][]int {
+	return [][]int{
+		{4, 9, 1, 33, 7, 2, 15},
+		{},
+		{59},
+		{1, 2},
+		{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10},
+		{-3, 999, 5},
+		{4, 9, 1, 33, 7, 2, 15},
+		{8, 0, 44, 3, 21},
+	}
+}
+
+// TestForwardBatchBitIdentical verifies the central contract of the
+// batched refactor: for every model kind, each row of ForwardBatch over
+// a mixed-length batch is bit-identical (not merely close) to the
+// scalar Forward on that example, and repeated scalar calls after the
+// batched call still agree (batch scratch does not disturb scalar
+// scratch).
+func TestForwardBatchBitIdentical(t *testing.T) {
+	ids := batchTestIDs()
+	for name, m := range batchTestModels() {
+		t.Run(name, func(t *testing.T) {
+			// Scalar references first (Forward reuses scratch, so copy).
+			want := make([][]float64, len(ids))
+			for r, seq := range ids {
+				y, _ := m.Forward(seq, false, nil)
+				want[r] = append([]float64(nil), y...)
+			}
+			out, outDim := m.ForwardBatch(ids)
+			if len(out) != len(ids)*outDim {
+				t.Fatalf("out len = %d, want %d", len(out), len(ids)*outDim)
+			}
+			for r := range ids {
+				row := out[r*outDim : (r+1)*outDim]
+				for j, v := range row {
+					if math.Float64bits(v) != math.Float64bits(want[r][j]) {
+						t.Fatalf("row %d col %d: batched %v != scalar %v", r, j, v, want[r][j])
+					}
+				}
+			}
+			// Scalar path unchanged after a batched call.
+			for r, seq := range ids {
+				y, _ := m.Forward(seq, false, nil)
+				for j, v := range y {
+					if math.Float64bits(v) != math.Float64bits(want[r][j]) {
+						t.Fatalf("row %d: scalar output changed after ForwardBatch", r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForwardBatchSingleAndEmpty pins the degenerate batch sizes: n=1
+// delegates to the scalar path bit-identically and n=0 returns an
+// empty matrix.
+func TestForwardBatchSingleAndEmpty(t *testing.T) {
+	for name, m := range batchTestModels() {
+		t.Run(name, func(t *testing.T) {
+			seq := []int{5, 1, 12, 3}
+			y, _ := m.Forward(seq, false, nil)
+			want := append([]float64(nil), y...)
+			out, outDim := m.ForwardBatch([][]int{seq})
+			if len(out) != outDim {
+				t.Fatalf("n=1 out len = %d, want %d", len(out), outDim)
+			}
+			for j, v := range out {
+				if math.Float64bits(v) != math.Float64bits(want[j]) {
+					t.Fatalf("n=1 col %d: %v != %v", j, v, want[j])
+				}
+			}
+			if out, _ := m.ForwardBatch(nil); len(out) != 0 {
+				t.Fatalf("n=0 out len = %d, want 0", len(out))
+			}
+		})
+	}
+}
+
+// TestForwardBatchReplicasConcurrent runs batched inference on
+// CloneShared replicas from concurrent goroutines (the serving
+// topology) and checks every replica agrees with the base model
+// bit-for-bit. Run under -race this also proves the batch scratch is
+// replica-private.
+func TestForwardBatchReplicasConcurrent(t *testing.T) {
+	ids := batchTestIDs()
+	for name, m := range batchTestModels() {
+		t.Run(name, func(t *testing.T) {
+			want, outDim := m.ForwardBatch(ids)
+			wantCopy := append([]float64(nil), want...)
+			const workers = 4
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				rep := m.(ParallelModel).CloneShared().(BatchModel)
+				go func() {
+					for iter := 0; iter < 50; iter++ {
+						out, _ := rep.ForwardBatch(ids)
+						for i, v := range out {
+							if math.Float64bits(v) != math.Float64bits(wantCopy[i]) {
+								errc <- errMismatch(i)
+								return
+							}
+						}
+					}
+					errc <- nil
+				}()
+			}
+			for w := 0; w < workers; w++ {
+				if err := <-errc; err != nil {
+					t.Fatal(err)
+				}
+			}
+			_ = outDim
+		})
+	}
+}
+
+type errMismatch int
+
+func (e errMismatch) Error() string { return "replica batched output mismatch" }
+
+// TestForwardBatchAllocFree guards the 0 allocs/op contract for warm
+// batched inference at a fixed batch width.
+func TestForwardBatchAllocFree(t *testing.T) {
+	ids := batchTestIDs()
+	for name, m := range batchTestModels() {
+		t.Run(name, func(t *testing.T) {
+			m.ForwardBatch(ids) // warm the scratch
+			if allocs := testing.AllocsPerRun(50, func() { m.ForwardBatch(ids) }); allocs != 0 {
+				t.Errorf("ForwardBatch allocs/op = %v, want 0", allocs)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ type Conv1D struct {
 	K     int // number of kernels
 
 	cache  ConvCache
+	bcache convBatchCache
 	pooled []float64
 }
 
@@ -53,19 +54,74 @@ type ConvCache struct {
 	argmax []int     // winning window start per kernel (-1: all <= 0)
 	pre    []float64 // pre-ReLU activation at the winning position
 
+	// Scoring scratch: the kernel bank transposed to wlen×K and the
+	// positions×K pre-activation matrix it produces.
+	wT, scores []float64
+
 	// Backward scratch.
 	dxsFlat []float64 // n*In
 	dxs     [][]float64
+}
+
+// convBatchCache is the inference-only scratch of ForwardBatch, kept
+// separate from ConvCache so batched serving never disturbs a training
+// pass's cached activations.
+type convBatchCache struct {
+	wT, scores []float64
+}
+
+// score fills scores (positions×K) with the pre-ReLU activations of
+// every (window, kernel) pair: scores[j,k] = b_k + w_k · x_{j:j+m-1}.
+// The rows are prefilled with the biases and the windows are scored as
+// ONE strided GEMM — overlapping windows of the packed input act as
+// matrix rows via GemmS's explicit row stride (copy-free im2col), with
+// wT the kernel bank transposed to wlen×K. Only the zero-padded case
+// (n < Width, a single truncated window) shortens the shared
+// dimension. The per-element accumulation chain — bias first, then
+// window·kernel terms in increasing feature order, four at a time — is
+// a pure function of the shapes, so the scalar and batched paths score
+// bit-identically.
+func (c *Conv1D) score(scores, x []float64, n, positions int, wT []float64) {
+	for j := 0; j < positions; j++ {
+		copy(scores[j*c.K:(j+1)*c.K], c.B.W)
+	}
+	wlen := c.Width * c.In
+	if n >= c.Width {
+		f64.GemmS(scores, x, c.In, wT, positions, c.K, wlen)
+	} else {
+		f64.GemmS(scores, x, c.In, wT, 1, c.K, n*c.In)
+	}
+}
+
+// pool writes max-over-time ReLU pooling of scores (positions×K) into
+// pooled, returning the winning window start per kernel in argmax when
+// non-nil (-1 when every window is ≤ 0) and the winning pre-activation
+// in pre.
+func (c *Conv1D) pool(pooled, scores []float64, positions int, argmax []int, pre []float64) {
+	for k := 0; k < c.K; k++ {
+		best := 0.0
+		bestPos := -1
+		for j := 0; j < positions; j++ {
+			if sum := scores[j*c.K+k]; sum > best {
+				best = sum
+				bestPos = j
+			}
+		}
+		pooled[k] = best // ReLU(max) == max(0, max_j pre_j)
+		if argmax != nil {
+			argmax[k] = bestPos
+			pre[k] = best
+		}
+	}
 }
 
 // Forward computes the pooled feature vector. Sequences shorter than
 // the window are implicitly zero-padded on the right. The returned
 // slice is owned by the layer and valid until the next Forward call.
 //
-// The input rows are packed into one contiguous n×In buffer up front,
-// so every window j with j+Width <= n reduces to a single flat dot
-// product of length Width·In; only the zero-padded tail windows (which
-// exist only when n < Width) use a truncated length.
+// The input rows are packed into one contiguous n×In buffer up front
+// and all windows are scored in a single strided GEMM (see score)
+// before the max/ReLU scan.
 func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 	n := len(xs)
 	positions := n - c.Width + 1
@@ -82,29 +138,42 @@ func (c *Conv1D) Forward(xs [][]float64) ([]float64, *ConvCache) {
 	growI(&cache.argmax, c.K)
 	growF(&cache.pre, c.K)
 	wlen := c.Width * c.In
-	for k := 0; k < c.K; k++ {
-		w := c.W.W[k*wlen : (k+1)*wlen]
-		bk := c.B.W[k]
-		best := 0.0
-		bestPos := -1
-		bestPre := 0.0
-		for j := 0; j < positions; j++ {
-			l := wlen
-			if avail := (n - j) * c.In; avail < l {
-				l = avail // zero padding: n < Width
-			}
-			sum := bk + f64.Dot(w[:l], x[j*c.In:j*c.In+l])
-			if sum > best {
-				best = sum
-				bestPos = j
-				bestPre = sum
-			}
-		}
-		pooled[k] = best // ReLU(max) == max(0, max_j pre_j)
-		cache.argmax[k] = bestPos
-		cache.pre[k] = bestPre
-	}
+	wT := growF(&cache.wT, wlen*c.K)
+	f64.Transpose(wT, c.W.W, c.K, wlen)
+	scores := growF(&cache.scores, positions*c.K)
+	c.score(scores, x, n, positions, wT)
+	c.pool(pooled, scores, positions, cache.argmax, cache.pre)
 	return pooled, cache
+}
+
+// ForwardBatch pools every example of a packed batch: example r is the
+// lens[r]×In embedding block at xb[offs[r]:], and its K pooled features
+// are written to out[r*stride+col : r*stride+col+K] — stride/col place
+// the bank's slice inside a row of concatenated bank outputs. Row r is
+// bit-identical to Forward on the same example (identical score and
+// pool chains). Inference only: nothing is cached for Backward, and the
+// scratch is private to the layer replica.
+func (c *Conv1D) ForwardBatch(xb []float64, offs, lens []int, out []float64, stride, col int) {
+	wlen := c.Width * c.In
+	bc := &c.bcache
+	wT := growF(&bc.wT, wlen*c.K)
+	f64.Transpose(wT, c.W.W, c.K, wlen)
+	maxPos := 1
+	for _, n := range lens {
+		if p := n - c.Width + 1; p > maxPos {
+			maxPos = p
+		}
+	}
+	scores := growF(&bc.scores, maxPos*c.K)
+	for r, off := range offs {
+		n := lens[r]
+		positions := n - c.Width + 1
+		if positions < 1 {
+			positions = 1
+		}
+		c.score(scores, xb[off:off+n*c.In], n, positions, wT)
+		c.pool(out[r*stride+col:r*stride+col+c.K], scores, positions, nil, nil)
+	}
 }
 
 // Backward routes dpooled through the max and ReLU into the inputs and

@@ -44,6 +44,17 @@ func (e *Embedding) Forward(ids []int) [][]float64 {
 	return out
 }
 
+// Lookup returns a read-only view of the embedding row for id, with
+// out-of-vocabulary ids clamped to row 0 exactly like Forward. Batched
+// packing uses it to copy rows straight into a batch buffer without
+// materializing the per-sequence row headers.
+func (e *Embedding) Lookup(id int) []float64 {
+	if id < 0 || id >= e.V {
+		id = 0
+	}
+	return e.P.W[id*e.D : (id+1)*e.D]
+}
+
 // CloneShared returns a replica sharing weights but owning private
 // gradients and scratch.
 func (e *Embedding) CloneShared() *Embedding {
@@ -94,6 +105,18 @@ func (d *Dense) Forward(x []float64) []float64 {
 	copy(y, d.B.W)
 	f64.GemvNAdd(y, d.W.W, x)
 	return y
+}
+
+// ForwardBatch computes out[r] = W·x[r] + b for an n-row batch: x is
+// n×In row-major, out is n×Out row-major. Each row runs the exact
+// GemvNAdd chain of Forward, so row r is bit-identical to
+// Forward(x[r]).
+func (d *Dense) ForwardBatch(out, x []float64, n int) {
+	for r := 0; r < n; r++ {
+		y := out[r*d.Out : (r+1)*d.Out]
+		copy(y, d.B.W)
+		f64.GemvNAdd(y, d.W.W, x[r*d.In:(r+1)*d.In])
+	}
 }
 
 // Backward accumulates parameter gradients and returns dL/dx (owned by
@@ -235,5 +258,3 @@ func Relu(x []float64) []float64 {
 	}
 	return x
 }
-
-func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"math"
 	"math/rand"
 
 	"repro/internal/f64"
@@ -36,7 +35,8 @@ type LSTMLayer struct {
 	Wx, Wh, B *Param
 	In, H     int
 
-	cache LSTMCache
+	cache  LSTMCache
+	bcache lstmBatchCache
 }
 
 // NewLSTMLayer allocates a layer mapping In-dim inputs to H-dim hidden
@@ -162,17 +162,24 @@ func (l *LSTMLayer) Forward(xs [][]float64) ([][]float64, *LSTMCache) {
 		c := cache.cs[t*h : (t+1)*h]
 		tc := cache.tanhCs[t*h : (t+1)*h]
 		hVec := cache.hs[t*h : (t+1)*h]
-		for i := 0; i < h; i++ {
-			cand[i] = math.Tanh(pre[i])
-			gu[i] = sigmoid(pre[h+i])
-			gf[i] = sigmoid(pre[2*h+i])
-			gout[i] = sigmoid(pre[3*h+i])
-			if cPrev != nil {
+		// All four gate nonlinearities in one batched pass over the
+		// contiguous 4h pre block: tanh for the candidate, then one
+		// SigmoidV over the packed [update|forget|output] 3h span —
+		// the same element functions the batched n-row path applies,
+		// which is what keeps the two paths bit-identical.
+		f64.TanhV(cand, pre[:h])
+		f64.SigmoidV(cache.gates[gb+h:gb+4*h], pre[h:4*h])
+		if cPrev != nil {
+			for i := 0; i < h; i++ {
 				c[i] = gu[i]*cand[i] + gf[i]*cPrev[i]
-			} else {
+			}
+		} else {
+			for i := 0; i < h; i++ {
 				c[i] = gu[i] * cand[i]
 			}
-			tc[i] = math.Tanh(c[i])
+		}
+		f64.TanhV(tc, c)
+		for i := 0; i < h; i++ {
 			hVec[i] = gout[i] * tc[i]
 		}
 	}
@@ -262,4 +269,137 @@ func (l *LSTMLayer) Backward(cache *LSTMCache, dhs [][]float64) [][]float64 {
 		dxs[t] = cache.dxsFlat[t*l.In : (t+1)*l.In]
 	}
 	return dxs
+}
+
+// lstmBatchCache is the inference-only scratch of ForwardBatch:
+// feature-major activations sized by the largest batch seen, reused
+// across calls and never retained for Backward.
+type lstmBatchCache struct {
+	pre        []float64 // 4h×n gate pre-activations for the current step
+	hs         []float64 // T blocks of h×n hidden states
+	cA, cB, tc []float64 // h×n cell-state double buffer and tanh scratch
+}
+
+// ForwardBatch runs the layer over an n-example batch packed
+// feature-major: x holds T timestep blocks, each an In×n matrix with
+// feature i of example r at x[t*In*n + i*n + r]. It returns the hidden
+// states in the same layout (T blocks of h×n), owned by the layer and
+// valid until the next ForwardBatch call.
+//
+// Per step the gate pre-activations for the whole batch form one 4h×n
+// matrix: Pre = b·1ᵀ + Wx·Xₜ + Wh·Hₜ₋₁ via two GEMMs that read the
+// packed row-major weights directly (no transposed copies), then one
+// TanhV over the contiguous candidate block and one SigmoidV over the
+// packed [update|forget|output] 3h·n span — the four gate
+// nonlinearities as a single batched pass.
+//
+// Bit-identity with Forward: for every output element the term order —
+// bias, then Wx terms in increasing input index four at a time, then
+// Wh terms likewise — matches Forward's per-example chain exactly
+// (Gemm and the transposed-operand Gemm in Forward multiply identical
+// float pairs in identical order), and the nonlinearities are the same
+// element functions. Column r of every block therefore equals the
+// scalar path on example r bit-for-bit.
+//
+// widths optionally narrows the working batch per step: widths[t] ≤ n
+// columns are computed at step t and the rest are neither read nor
+// written. Widths must be non-increasing (callers sort lanes longest
+// first), so a ragged batch costs the sum of its lane lengths instead
+// of T×n; nil means full width everywhere. Narrowing never changes a
+// surviving column's values — every kernel here is column-independent
+// — it only skips columns, so the output stays bit-identical to the
+// scalar path lane by lane.
+//
+// Inference only: no cache is retained for Backward. Columns past
+// widths[t] (or, with nil widths, columns of steps past an example's
+// true length) hold stale scratch the caller must ignore.
+func (l *LSTMLayer) ForwardBatch(x []float64, n, T int, widths []int) []float64 {
+	h, in := l.H, l.In
+	bc := &l.bcache
+	pre := growF(&bc.pre, 4*h*n)
+	hs := growF(&bc.hs, T*h*n)
+	cPrev := growF(&bc.cA, h*n)
+	cCur := growF(&bc.cB, h*n)
+	tc := growF(&bc.tc, h*n)
+	for t := 0; t < T; t++ {
+		w := n
+		if widths != nil {
+			w = widths[t]
+			if w <= 0 {
+				break
+			}
+			// Round the working width up to a whole 4-lane block: the
+			// extra ≤3 columns are dead lanes recomputed from stale
+			// scratch (column-independent, discarded by the caller), and
+			// whole blocks keep the vector kernels and the GEMM inner
+			// loops off their scalar tails.
+			if w = (w + 3) &^ 3; w > n {
+				w = n
+			}
+		}
+		for g := 0; g < 4*h; g++ {
+			row := pre[g*n : g*n+w]
+			bg := l.B.W[g]
+			for r := range row {
+				row[r] = bg
+			}
+		}
+		f64.GemmSW(pre, n, l.Wx.W, in, x[t*in*n:(t+1)*in*n], n, 4*h, w, in)
+		if t > 0 {
+			f64.GemmSW(pre, n, l.Wh.W, h, hs[(t-1)*h*n:t*h*n], n, 4*h, w, h)
+		}
+		if w == n {
+			cand := pre[:h*n]
+			f64.TanhV(cand, cand)
+			f64.SigmoidV(pre[h*n:4*h*n], pre[h*n:4*h*n])
+			gu := pre[h*n : 2*h*n]
+			gf := pre[2*h*n : 3*h*n]
+			gout := pre[3*h*n : 4*h*n]
+			if t == 0 {
+				for i := 0; i < h*n; i++ {
+					cCur[i] = gu[i] * cand[i]
+				}
+			} else {
+				for i := 0; i < h*n; i++ {
+					cCur[i] = gu[i]*cand[i] + gf[i]*cPrev[i]
+				}
+			}
+			f64.TanhV(tc, cCur)
+			ht := hs[t*h*n : (t+1)*h*n]
+			for i := 0; i < h*n; i++ {
+				ht[i] = gout[i] * tc[i]
+			}
+		} else {
+			// Narrow steps work on row prefixes [g*n, g*n+w): the same
+			// element functions and update expressions, restricted to the
+			// still-active columns.
+			gu := pre[h*n:]
+			gf := pre[2*h*n:]
+			gout := pre[3*h*n:]
+			ht := hs[t*h*n:]
+			for g := 0; g < h; g++ {
+				o := g * n
+				cand := pre[o : o+w]
+				f64.TanhV(cand, cand)
+				f64.SigmoidV(gu[o:o+w], gu[o:o+w])
+				f64.SigmoidV(gf[o:o+w], gf[o:o+w])
+				f64.SigmoidV(gout[o:o+w], gout[o:o+w])
+				if t == 0 {
+					for r := o; r < o+w; r++ {
+						cCur[r] = gu[r] * pre[r]
+					}
+				} else {
+					for r := o; r < o+w; r++ {
+						cCur[r] = gu[r]*pre[r] + gf[r]*cPrev[r]
+					}
+				}
+				f64.TanhV(tc[o:o+w], cCur[o:o+w])
+				for r := o; r < o+w; r++ {
+					ht[r] = gout[r] * tc[r]
+				}
+			}
+		}
+		cPrev, cCur = cCur, cPrev
+	}
+	return hs
 }

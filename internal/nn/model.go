@@ -23,6 +23,19 @@ type Model interface {
 	Params() []*Param
 }
 
+// BatchModel is implemented by models whose inference path can run a
+// whole micro-batch through the network as one n-row matrix per layer
+// instead of n independent vectors.
+type BatchModel interface {
+	Model
+	// ForwardBatch runs inference (no dropout, no gradient caches) over
+	// a batch of sequences, returning the logits as an n×outDim
+	// row-major matrix in model-owned scratch, valid until the next
+	// ForwardBatch call. Row r is bit-identical to
+	// Forward(ids[r], false, nil).
+	ForwardBatch(ids [][]int) (out []float64, outDim int)
+}
+
 // CNNConfig configures the shallow CNN of Section 5.3.
 type CNNConfig struct {
 	Vocab   int
@@ -43,7 +56,8 @@ type CNNModel struct {
 	Drop  Dropout
 	FC    *Dense
 
-	cache cnnCache
+	cache  cnnCache
+	bcache cnnBatchCache
 }
 
 // NewCNN builds a CNN model.
@@ -70,6 +84,15 @@ type cnnCache struct {
 	// Backward scratch.
 	dxsFlat []float64
 	dxs     [][]float64
+}
+
+// cnnBatchCache is the inference-only batch scratch, sized by the
+// largest batch seen and reused across ForwardBatch calls.
+type cnnBatchCache struct {
+	offs, lens []int
+	xb         []float64 // examples packed back to back, Σ lens[r] rows of Embed
+	pooled     []float64 // n × (Kernels·len(Convs)) concatenated bank outputs
+	out        []float64 // n × Outputs logits
 }
 
 // Config returns the architecture configuration the model was built
@@ -104,6 +127,51 @@ func (m *CNNModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, an
 	masked, mask := m.Drop.Forward(pooled, train, rng)
 	cache.masked, cache.mask = masked, mask
 	return m.FC.Forward(masked), cache
+}
+
+// ForwardBatch implements BatchModel: the embeddings of every example
+// are packed back to back into one buffer, each kernel bank scores and
+// pools the whole batch in one call (writing its slice of each row of
+// the concatenated pooled matrix), and the output layer maps the n×F
+// pooled matrix to n×Outputs. Dropout is identity at inference, so the
+// per-row compute chain matches Forward exactly.
+func (m *CNNModel) ForwardBatch(ids [][]int) ([]float64, int) {
+	n := len(ids)
+	outDim := m.cfg.Outputs
+	bc := &m.bcache
+	out := growF(&bc.out, n*outDim)
+	if n == 0 {
+		return out, outDim
+	}
+	if n == 1 {
+		y, _ := m.Forward(ids[0], false, nil)
+		copy(out, y)
+		return out, outDim
+	}
+	d := m.cfg.Embed
+	offs := growI(&bc.offs, n)
+	lens := growI(&bc.lens, n)
+	total := 0
+	for r, seq := range ids {
+		offs[r] = total * d
+		lens[r] = len(seq)
+		total += len(seq)
+	}
+	xb := growF(&bc.xb, total*d)
+	pos := 0
+	for _, seq := range ids {
+		for _, id := range seq {
+			copy(xb[pos:pos+d], m.Emb.Lookup(id))
+			pos += d
+		}
+	}
+	stride := m.cfg.Kernels * len(m.Convs)
+	pooled := growF(&bc.pooled, n*stride)
+	for ci, conv := range m.Convs {
+		conv.ForwardBatch(xb, offs, lens, pooled, stride, ci*m.cfg.Kernels)
+	}
+	m.FC.ForwardBatch(out, pooled, n)
+	return out, outDim
 }
 
 // Backward implements Model.
@@ -158,6 +226,7 @@ type LSTMModel struct {
 	FC     *Dense
 
 	cache  lstmModelCache
+	bcache lstmBatchModelCache
 	dhs    [][]float64 // backward scratch: gradient into the top layer
 	padOne [1]int      // stand-in ids for empty sequences
 }
@@ -181,6 +250,17 @@ func NewLSTM(cfg LSTMConfig, rng *rand.Rand) *LSTMModel {
 type lstmModelCache struct {
 	layerCaches []*LSTMCache
 	last        []float64 // final hidden state of the top layer
+}
+
+// lstmBatchModelCache is the inference-only batch scratch, sized by the
+// largest batch seen and reused across ForwardBatch calls.
+type lstmBatchModelCache struct {
+	lens   []int     // true step count per example (empty sequences pad to 1)
+	order  []int     // lane order, longest sequence first
+	widths []int     // per-step active width (lanes whose sequence reaches t)
+	xb     []float64 // feature-major input: T blocks of Embed×n
+	last   []float64 // n × Hidden final hidden states
+	out    []float64 // n × Outputs logits
 }
 
 // Config returns the architecture configuration the model was built
@@ -215,6 +295,102 @@ func (m *LSTMModel) Forward(ids []int, train bool, rng *rand.Rand) ([]float64, a
 	}
 	cache.last = xs[len(xs)-1]
 	return m.FC.Forward(cache.last), cache
+}
+
+// ForwardBatch implements BatchModel. The batch is packed
+// feature-major — T timestep blocks, each an Embed×n matrix with
+// feature i of lane k at xb[t·Embed·n + i·n + k] — so every LSTM
+// layer advances all n examples one step per pair of GEMMs (see
+// LSTMLayer.ForwardBatch). Ragged lengths cost their true sum, not
+// T×n: lanes are ordered longest first, each step narrows to the
+// lanes whose sequence reaches it (a column prefix), and each lane's
+// logits read from its own final step lens[r]−1. Lanes are
+// independent columns throughout, so both the reordering and the
+// narrowing leave every example bit-identical to the scalar path.
+func (m *LSTMModel) ForwardBatch(ids [][]int) ([]float64, int) {
+	n := len(ids)
+	outDim := m.cfg.Outputs
+	bc := &m.bcache
+	out := growF(&bc.out, n*outDim)
+	if n == 0 {
+		return out, outDim
+	}
+	if n == 1 {
+		y, _ := m.Forward(ids[0], false, nil)
+		copy(out, y)
+		return out, outDim
+	}
+	d := m.cfg.Embed
+	h := m.cfg.Hidden
+	lens := growI(&bc.lens, n)
+	T := 1
+	for r, seq := range ids {
+		l := len(seq)
+		if l == 0 {
+			l = 1 // the scalar path pads empty sequences to one unknown token
+		}
+		lens[r] = l
+		if l > T {
+			T = l
+		}
+	}
+	// Lanes run longest first (stable insertion sort: batches are small
+	// and this allocates nothing), so the set of still-active lanes at
+	// any step is a column prefix and each step can narrow its working
+	// width to the lanes that still have input. A ragged batch then
+	// costs the sum of its lane lengths, not T×n; reordering is
+	// invisible in the output because every kernel in the batched path
+	// is column-independent and the logits scatter back through order.
+	order := growI(&bc.order, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && lens[order[j]] > lens[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	// widths[t] = how many lanes still have a token at step t; with
+	// lens[order] non-increasing that is the first sorted position whose
+	// lane has ended.
+	widths := growI(&bc.widths, T)
+	w := n
+	for t := 0; t < T; t++ {
+		for w > 0 && lens[order[w-1]] <= t {
+			w--
+		}
+		widths[t] = w
+	}
+	xb := growF(&bc.xb, T*d*n)
+	for t := 0; t < T; t++ {
+		blk := xb[t*d*n : (t+1)*d*n]
+		for k := 0; k < widths[t]; k++ {
+			seq := ids[order[k]]
+			id := 0
+			if t < len(seq) {
+				id = seq[t] // t ≥ len only for the empty-sequence pad lane
+			}
+			for i, v := range m.Emb.Lookup(id) {
+				blk[i*n+k] = v
+			}
+		}
+	}
+	x := xb
+	for _, layer := range m.Layers {
+		x = layer.ForwardBatch(x, n, T, widths)
+	}
+	// Gather each lane's final step into example-major rows in original
+	// request order; the head then writes out in request order directly.
+	last := growF(&bc.last, n*h)
+	for k := 0; k < n; k++ {
+		r := order[k]
+		blk := x[(lens[r]-1)*h*n:]
+		for j := 0; j < h; j++ {
+			last[r*h+j] = blk[j*n+k]
+		}
+	}
+	m.FC.ForwardBatch(out, last, n)
+	return out, outDim
 }
 
 // Backward implements Model.

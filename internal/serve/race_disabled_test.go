@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceDetectorEnabled reports whether the race detector is active (see
+// race_enabled_test.go).
+const raceDetectorEnabled = false

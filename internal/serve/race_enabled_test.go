@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceDetectorEnabled reports whether the race detector is active;
+// allocation-count assertions are skipped under it because the race
+// runtime allocates on its own behalf.
+const raceDetectorEnabled = true

@@ -541,17 +541,53 @@ func (p *Predictor) release(r *request) {
 	p.reqPool.Put(r)
 }
 
+// workerScratch holds one worker's batching buffers, preallocated at
+// MaxBatch capacity so the warm fused path allocates nothing.
+type workerScratch struct {
+	// groups partitions one drained batch by request kind. The split
+	// happens up front, before any group runs: once a request's done
+	// signal fires its object can be recycled through the pool, so the
+	// worker must never read a completed request's fields again.
+	groups [3][]*request
+	stmts  []string
+	dsts   [][]float64
+	cls    []int
+	vals   []float64
+}
+
+func newWorkerScratch(maxBatch int) *workerScratch {
+	sc := &workerScratch{
+		stmts: make([]string, 0, maxBatch),
+		dsts:  make([][]float64, 0, maxBatch),
+		cls:   make([]int, 0, maxBatch),
+		vals:  make([]float64, 0, maxBatch),
+	}
+	for i := range sc.groups {
+		sc.groups[i] = make([]*request, 0, maxBatch)
+	}
+	return sc
+}
+
 // worker is one replica loop: take a request, gather a micro-batch,
-// run it, repeat until the queue closes. A panicking inference is
-// confined to its request (process recovers); a replica that keeps
-// panicking is retired and rebuilt from the snapshot — fresh encoder
-// and scratch state, same shared immutable weights — so one poisoned
-// model input can never wedge a worker or leak damaged scratch into
-// later requests.
+// run it, repeat until the queue closes. The worker first wins the
+// ownership CAS for every request in the batch (so cancellation races
+// settle before any compute), then partitions the owned requests by
+// prediction kind and runs each group of two or more as ONE fused
+// batched forward on the replica — the n-row matrix path of
+// core.Model's Batch methods — splitting the results back per request.
+//
+// Fault isolation is preserved exactly: a fused call that panics
+// completes nothing, and the worker falls back to per-request
+// processing of that group, where the existing per-request recover
+// boundary fails only the poisoned request (counted once in
+// Stats().Panics) and serves the rest. Replica rebuild strikes accrue
+// only from those per-request panics, so a replica is retired after
+// PanicLimit genuinely failed requests, same as before batching.
 func (p *Predictor) worker(w int) {
 	rep := p.replicas[w]
 	ring := &p.stats.lat[w]
 	batch := make([]*request, 0, p.opts.MaxBatch)
+	sc := newWorkerScratch(p.opts.MaxBatch)
 	var timer *time.Timer
 	panics := 0
 	for {
@@ -563,44 +599,150 @@ func (p *Predictor) worker(w int) {
 		batch = p.gather(batch, &timer)
 		// Count the batch before signaling any completion so Stats
 		// taken right after a request finishes never sees Batches (or
-		// Completed, counted in process) lagging the work done.
+		// Completed, counted at request completion) lagging the work
+		// done.
 		p.stats.batches.Add(1)
+		// Win the ownership race against cancellation before touching
+		// any request (dst aliases the caller's buffer): a caller that
+		// abandoned a request has already returned. Partition by kind
+		// in the same pass — after a group completes, its pooled
+		// request objects may be recycled, so no field can be re-read.
+		for i := range sc.groups {
+			sc.groups[i] = sc.groups[i][:0]
+		}
 		for _, r := range batch {
-			// Win the ownership race against cancellation before touching
-			// the request (its dst aliases the caller's buffer): a caller
-			// that abandoned it has already returned.
 			if !r.state.CompareAndSwap(reqQueued, reqRunning) {
 				p.release(r)
 				continue
 			}
-			if p.process(rep, ring, r) {
-				if panics++; panics >= p.opts.PanicLimit {
-					rep = p.model.Replicate()
-					p.replicas[w] = rep
-					p.stats.rebuilds.Add(1)
-					panics = 0
+			sc.groups[r.kind] = append(sc.groups[r.kind], r)
+		}
+		for kind := range sc.groups {
+			group := sc.groups[kind]
+			if len(group) == 0 {
+				continue
+			}
+			if len(group) > 1 && p.runFused(rep, ring, reqKind(kind), group, sc) {
+				continue
+			}
+			// Width-1 group, or fused-panic fallback: per-request
+			// processing with the per-request recover boundary.
+			for _, r := range group {
+				if p.process(rep, ring, r) {
+					if panics++; panics >= p.opts.PanicLimit {
+						rep = p.model.Replicate()
+						p.replicas[w] = rep
+						p.stats.rebuilds.Add(1)
+						panics = 0
+					}
 				}
 			}
 		}
 	}
 }
 
+// runFused runs one same-kind group of owned requests as a single
+// fused batched call, reporting whether it completed. On a panic
+// anywhere inside the fused forward it returns false having completed
+// NO request — no done signal sent, no counters touched — so the
+// caller's per-request fallback re-runs the whole group and only the
+// poisoned request fails.
+func (p *Predictor) runFused(rep *core.Model, ring *latRing, kind reqKind, group []*request, sc *workerScratch) (ok bool) {
+	n := len(group)
+	sc.stmts = sc.stmts[:0]
+	for _, r := range group {
+		sc.stmts = append(sc.stmts, r.stmt)
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			ok = false
+		}
+	}()
+	switch kind {
+	case probsKind:
+		sc.dsts = sc.dsts[:0]
+		for _, r := range group {
+			sc.dsts = append(sc.dsts, r.dst)
+		}
+		if res := rep.ProbsBatchInto(sc.stmts, sc.dsts); res != nil {
+			sc.dsts = res
+			for i, r := range group {
+				r.out = res[i]
+			}
+		}
+	case classKind:
+		if res := rep.PredictClassBatch(sc.stmts, sc.cls); res != nil {
+			sc.cls = res
+			for i, r := range group {
+				r.cls = res[i]
+			}
+		} else {
+			// Kind/model mismatch (class request on a regression model):
+			// the scalar path writes the zero value, and pooled requests
+			// carry stale fields, so mirror it explicitly.
+			for _, r := range group {
+				r.cls = 0
+			}
+		}
+	default:
+		if res := rep.PredictLogBatchInto(sc.stmts, sc.vals); res != nil {
+			sc.vals = res
+			for i, r := range group {
+				r.val = res[i]
+			}
+		} else {
+			for _, r := range group {
+				r.val = 0
+			}
+		}
+	}
+	for _, r := range group {
+		d := time.Since(r.enq)
+		ring.record(d)
+		p.stats.recordWidth(n, d)
+		p.stats.completed.Add(1)
+		r.done <- struct{}{}
+	}
+	// Drop caller-buffer and statement references so completed
+	// requests' memory is not retained until the next fused batch.
+	for i := range sc.dsts {
+		sc.dsts[i] = nil
+	}
+	for i := range sc.stmts {
+		sc.stmts[i] = ""
+	}
+	return true
+}
+
 // gather fills the batch up to MaxBatch: first by draining whatever is
-// already queued, then — when a BatchWindow is configured — by waiting
+// already queued (yielding once to let already-runnable clients land
+// their sends), then — when a BatchWindow is configured — by waiting
 // up to the window for more. The per-worker timer is reused across
 // batches so the warm path allocates nothing.
 func (p *Predictor) gather(batch []*request, timer **time.Timer) []*request {
-	for len(batch) < p.opts.MaxBatch {
-		select {
-		case r, ok := <-p.queue:
-			if !ok {
-				return batch
+	// Opportunistic fusing: a channel send to a blocked worker schedules
+	// the worker immediately (runnext), so under concurrent load the
+	// first drain often sees just one request while the other clients
+	// are still runnable but haven't sent yet. One Gosched lets them
+	// run and enqueue, widening the fused batch without spending any
+	// wall-clock on a timer; at low load it's a few hundred ns.
+	for spin := 0; ; spin++ {
+		for len(batch) < p.opts.MaxBatch {
+			select {
+			case r, ok := <-p.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+				continue
+			default:
 			}
-			batch = append(batch, r)
-			continue
-		default:
+			break
 		}
-		break
+		if spin > 0 || len(batch) >= p.opts.MaxBatch || p.opts.MaxBatch <= 1 {
+			break
+		}
+		runtime.Gosched()
 	}
 	if p.opts.BatchWindow <= 0 || len(batch) >= p.opts.MaxBatch {
 		return batch
@@ -668,7 +810,9 @@ func (p *Predictor) process(rep *core.Model, ring *latRing, r *request) (panicke
 	default:
 		r.val = rep.PredictLog(r.stmt)
 	}
-	ring.record(time.Since(r.enq))
+	d := time.Since(r.enq)
+	ring.record(d)
+	p.stats.recordWidth(1, d)
 	p.stats.completed.Add(1)
 	r.done <- struct{}{}
 	return false

@@ -13,6 +13,12 @@ import (
 // and allocation-free).
 const latRingSize = 1024
 
+// maxWidthBuckets is the number of batch-width histogram buckets:
+// widths 1..maxWidthBuckets-1 map one-to-one and anything wider folds
+// into the last bucket (the default MaxBatch is 32, so folding only
+// happens with an explicitly raised cap).
+const maxWidthBuckets = 32
+
 // statsState is the predictor's observability state: atomic counters
 // plus one latency sample ring per worker, so hot-path recording
 // never contends across replicas.
@@ -25,6 +31,28 @@ type statsState struct {
 	rebuilds  atomic.Uint64 // replicas retired and rebuilt after PanicLimit
 
 	lat []latRing // one per worker
+
+	// widths is the effective-batch-width histogram: bucket w-1 counts
+	// requests completed in a fused group of width w (width 1 = the
+	// scalar path) and retains their latency samples.
+	widths [maxWidthBuckets]widthBucket
+}
+
+// widthBucket is one batch-width histogram cell.
+type widthBucket struct {
+	count atomic.Uint64
+	lat   latRing
+}
+
+// recordWidth records one completed request that ran in a fused group
+// of the given width.
+func (s *statsState) recordWidth(w int, d time.Duration) {
+	if w > maxWidthBuckets {
+		w = maxWidthBuckets
+	}
+	b := &s.widths[w-1]
+	b.count.Add(1)
+	b.lat.record(d)
 }
 
 // latRing is one worker's latency samples. The mutex is effectively
@@ -100,6 +128,23 @@ type Stats struct {
 	// P50 and P99 are request latencies (enqueue to completion) over
 	// the most recent samples.
 	P50, P99 time.Duration
+	// EffectiveBatch is the completed-weighted mean fused-batch width:
+	// the average number of requests that shared a forward pass with
+	// each completed request (1.0 = everything ran the scalar path).
+	// Unlike MeanBatch (requests per worker drain), it reflects the
+	// width of the actual fused matrix compute.
+	EffectiveBatch float64
+	// Widths is the per-width completion histogram with per-width
+	// latency percentiles, sorted by ascending width; widths beyond
+	// the last bucket fold into it. Empty widths are omitted.
+	Widths []WidthStat
+}
+
+// WidthStat is one row of the batch-width histogram.
+type WidthStat struct {
+	Width    int
+	Count    uint64
+	P50, P99 time.Duration
 }
 
 // Stats snapshots the predictor's service metrics. Safe to call
@@ -122,13 +167,37 @@ func (p *Predictor) Stats() Stats {
 		s.MeanBatch = float64(s.Completed) / float64(s.Batches)
 	}
 	s.P50, s.P99 = p.stats.percentiles()
+	var weighted, total uint64
+	var samples []int64
+	for i := range p.stats.widths {
+		b := &p.stats.widths[i]
+		c := b.count.Load()
+		if c == 0 {
+			continue
+		}
+		w := i + 1
+		weighted += uint64(w) * c
+		total += c
+		samples = b.lat.snapshotInto(samples[:0])
+		ws := WidthStat{Width: w, Count: c}
+		if m := len(samples); m > 0 {
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			ws.P50 = time.Duration(samples[(m-1)*50/100])
+			ws.P99 = time.Duration(samples[(m-1)*99/100])
+		}
+		s.Widths = append(s.Widths, ws)
+	}
+	if total > 0 {
+		s.EffectiveBatch = float64(weighted) / float64(total)
+	}
 	return s
 }
 
 // String renders the snapshot for logs and load drivers.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f rejected=%d canceled=%d panics=%d rebuilds=%d uptime=%s",
+		"completed=%d throughput=%.0f/s p50=%s p99=%s queue=%d batches=%d mean-batch=%.1f eff-batch=%.1f rejected=%d canceled=%d panics=%d rebuilds=%d uptime=%s",
 		s.Completed, s.Throughput, s.P50, s.P99, s.QueueDepth, s.Batches, s.MeanBatch,
-		s.Rejected, s.Canceled, s.Panics, s.Rebuilds, s.Uptime.Round(time.Millisecond))
+		s.EffectiveBatch, s.Rejected, s.Canceled, s.Panics, s.Rebuilds,
+		s.Uptime.Round(time.Millisecond))
 }
