@@ -1,7 +1,10 @@
-// Package client is the typed Go client for the prediction service's
-// /v1 HTTP API (internal/service, cmd/serviced). It replaces
-// hand-rolled HTTP with a library that encodes the API's operational
-// contract:
+// Package client is the typed Go client for the prediction service
+// (internal/service, cmd/serviced), speaking either the /v1 HTTP/JSON
+// API or the binary wire protocol (internal/wire) depending on the
+// base URL scheme: http:// and https:// select HTTP, tcp:// and
+// unix:// select the framed binary transport with persistent
+// pipelined connections. It replaces hand-rolled HTTP with a library
+// that encodes the API's operational contract:
 //
 //   - Per-request deadlines: Options.Timeout bounds every attempt (on
 //     top of whatever deadline the caller's context carries), and
@@ -45,8 +48,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/serve"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // Prediction is one task-appropriate prediction with provenance
@@ -68,11 +71,10 @@ const (
 	AdmissionReject  = service.AdmissionReject
 )
 
-// ModelStats is one model's service metrics, as served by /v1/stats.
-type ModelStats struct {
-	Info  ModelInfo   `json:"info"`
-	Stats serve.Stats `json:"stats"`
-}
+// ModelStats is one model's service metrics, as served by /v1/stats
+// and the wire transport's stats reply — the service layer's single
+// snapshot shape, so the two transports expose identical fields.
+type ModelStats = service.StatsSnapshot
 
 // Sentinel errors, matched through errors.Is against the *APIError a
 // failed call returns.
@@ -197,6 +199,10 @@ func (o Options) resolved() Options {
 type Client struct {
 	base string
 	http *http.Client
+	// wire, when non-nil, replaces HTTP with the binary wire transport
+	// (tcp:// and unix:// base URLs). Retry, hedging, breaker, and
+	// sentinel-error semantics are identical across transports.
+	wire *wire.Client
 	opts Options
 
 	// sleep and now are the backoff and breaker clocks, swappable in
@@ -209,37 +215,99 @@ type Client struct {
 	breakers map[string]*breaker
 }
 
-// New creates a client for the service at baseURL (e.g.
-// "http://localhost:8080").
+// New creates a client for the service at baseURL. The URL scheme
+// picks the transport:
+//
+//	http://host:port   HTTP/JSON (also https://)
+//	tcp://host:port    binary wire protocol over TCP
+//	unix:///path.sock  binary wire protocol over a unix socket
+//
+// Every client behavior — retries, hedging, breakers, sentinel errors,
+// server-paced backoff — is transport-independent.
 func New(baseURL string, opts Options) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("client: base URL: %w", err)
 	}
-	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("client: base URL %q: scheme must be http or https", baseURL)
-	}
-	hc := opts.HTTPClient
-	if hc == nil {
-		hc = &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        64,
-			MaxIdleConnsPerHost: 64,
-			IdleConnTimeout:     90 * time.Second,
-		}}
-	}
-	return &Client{
-		base:     strings.TrimRight(u.String(), "/"),
-		http:     hc,
+	c := &Client{
 		opts:     opts.resolved(),
 		sleep:    sleepCtx,
 		now:      time.Now,
 		breakers: make(map[string]*breaker),
-	}, nil
+	}
+	switch u.Scheme {
+	case "http", "https":
+		hc := opts.HTTPClient
+		if hc == nil {
+			hc = &http.Client{Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			}}
+		}
+		c.base = strings.TrimRight(u.String(), "/")
+		c.http = hc
+	case "tcp":
+		if u.Host == "" {
+			return nil, fmt.Errorf("client: base URL %q: tcp scheme requires host:port", baseURL)
+		}
+		c.wire = wire.Dial("tcp", u.Host, wire.ClientOptions{})
+	case "unix":
+		path := u.Path
+		if path == "" {
+			path = u.Opaque
+		}
+		if path == "" {
+			return nil, fmt.Errorf("client: base URL %q: unix scheme requires a socket path", baseURL)
+		}
+		c.wire = wire.Dial("unix", path, wire.ClientOptions{})
+	default:
+		return nil, fmt.Errorf("client: base URL %q: scheme must be http, https, tcp, or unix", baseURL)
+	}
+	return c, nil
 }
 
-// Close releases idle connections. The client must not be used after.
+// Close releases the transport (idle HTTP connections, or the wire
+// connection pool). The client must not be used after.
 func (c *Client) Close() {
+	if c.wire != nil {
+		c.wire.Close()
+		return
+	}
 	c.http.CloseIdleConnections()
+}
+
+// wireErr translates a wire-transport failure into the client's error
+// model: typed server replies become *APIError (so the sentinel
+// mapping, retry classification, and breaker evidence are exactly the
+// HTTP transport's — the error frame carries the same status the HTTP
+// handler would have sent); transport failures pass through and count
+// as retryable, like an HTTP connection error.
+func wireErr(err error) error {
+	var se *wire.ServerError
+	if errors.As(err, &se) {
+		return &APIError{
+			Status:     se.Status,
+			Message:    se.Message,
+			RetryAfter: time.Duration(se.RetryAfter) * time.Second,
+		}
+	}
+	return err
+}
+
+// wireCall performs one control-plane call over the wire transport
+// with the same retry policy shape as call. The endpoint string keys
+// the circuit breaker, using the HTTP path names so breaker stats and
+// the healthz exemption are transport-independent.
+func (c *Client) wireCall(ctx context.Context, t wire.MsgType, endpoint string, reqJSON []byte, out any, retryable bool) error {
+	v, err := c.runOp(ctx, endpoint, retryable, func(ctx context.Context) (any, error) {
+		data, err := c.wire.Call(ctx, t, reqJSON)
+		return data, wireErr(err)
+	})
+	if err != nil {
+		return err
+	}
+	return unmarshalBody(v.([]byte), out)
 }
 
 // predictRequest mirrors the /v1/predict body.
@@ -266,6 +334,16 @@ type deployRequest struct {
 // configured Timeout also rides to the server as deadline_ms so the
 // request is cancelled server-side, not just abandoned.
 func (c *Client) Predict(ctx context.Context, model, statement string) (Prediction, error) {
+	if c.wire != nil {
+		v, err := c.runOpHedged(ctx, "/v1/predict", func(ctx context.Context) (any, error) {
+			pr, err := c.wire.Predict(ctx, model, statement)
+			return pr, wireErr(err)
+		})
+		if err != nil {
+			return Prediction{}, err
+		}
+		return v.(Prediction), nil
+	}
 	out, err := c.PredictBatch(ctx, model, []string{statement})
 	if err != nil {
 		return Prediction{}, err
@@ -278,6 +356,21 @@ func (c *Client) Predict(ctx context.Context, model, statement string) (Predicti
 func (c *Client) PredictBatch(ctx context.Context, model string, statements []string) ([]Prediction, error) {
 	if len(statements) == 0 {
 		return nil, nil
+	}
+	if c.wire != nil {
+		v, err := c.runOpHedged(ctx, "/v1/predict", func(ctx context.Context) (any, error) {
+			prs, err := c.wire.PredictBatch(ctx, model, statements)
+			return prs, wireErr(err)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := v.([]Prediction)
+		if len(out) != len(statements) {
+			return nil, fmt.Errorf("client: predict returned %d results for %d statements",
+				len(out), len(statements))
+		}
+		return out, nil
 	}
 	req := predictRequest{Model: model, Statements: statements}
 	if c.opts.Timeout > 0 {
@@ -299,6 +392,12 @@ func (c *Client) PredictBatch(ctx context.Context, model string, statements []st
 // Models lists every registered model.
 func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	var out []ModelInfo
+	if c.wire != nil {
+		if err := c.wireCall(ctx, wire.MsgModels, "/v1/models", nil, &out, true); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if err := c.call(ctx, http.MethodGet, "/v1/models", nil, &out, true); err != nil {
 		return nil, err
 	}
@@ -317,6 +416,16 @@ func (c *Client) Deploy(ctx context.Context, model string, version int, opts ...
 		req.DeployOptions = opts[0]
 	}
 	var info ModelInfo
+	if c.wire != nil {
+		body, err := marshalBody(req)
+		if err != nil {
+			return ModelInfo{}, err
+		}
+		if err := c.wireCall(ctx, wire.MsgDeploy, "/v1/deploy", body, &info, false); err != nil {
+			return ModelInfo{}, err
+		}
+		return info, nil
+	}
 	if err := c.call(ctx, http.MethodPost, "/v1/deploy", req, &info, false); err != nil {
 		return ModelInfo{}, err
 	}
@@ -327,6 +436,16 @@ func (c *Client) Deploy(ctx context.Context, model string, version int, opts ...
 // latency percentiles, per-model rejection counts).
 func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
 	var st ModelStats
+	if c.wire != nil {
+		body, err := marshalBody(struct {
+			Model string `json:"model"`
+		}{model})
+		if err != nil {
+			return st, err
+		}
+		err = c.wireCall(ctx, wire.MsgStats, "/v1/stats", body, &st, true)
+		return st, err
+	}
 	err := c.call(ctx, http.MethodGet, "/v1/stats?model="+url.QueryEscape(model), nil, &st, true)
 	return st, err
 }
@@ -344,6 +463,12 @@ type gcResponse struct {
 // model pruned and kept. Not retried — like Deploy, it changes state.
 func (c *Client) GC(ctx context.Context) ([]GCResult, error) {
 	var resp gcResponse
+	if c.wire != nil {
+		if err := c.wireCall(ctx, wire.MsgGC, "/v1/admin/gc", nil, &resp, false); err != nil {
+			return nil, err
+		}
+		return resp.Results, nil
+	}
 	if err := c.call(ctx, http.MethodPost, "/v1/admin/gc", nil, &resp, false); err != nil {
 		return nil, err
 	}
@@ -354,6 +479,9 @@ func (c *Client) GC(ctx context.Context) ([]GCResult, error) {
 // ErrUnavailable (via *APIError) while it is warming up or draining.
 // Not retried — a readiness probe reports, it does not wait.
 func (c *Client) Healthz(ctx context.Context) error {
+	if c.wire != nil {
+		return c.wireCall(ctx, wire.MsgHealthz, "/v1/healthz", nil, nil, false)
+	}
 	return c.call(ctx, http.MethodGet, "/v1/healthz", nil, nil, false)
 }
 
@@ -374,22 +502,24 @@ func (c *Client) WaitReady(ctx context.Context) error {
 	}
 }
 
-// call performs one API call with the client's retry budget (when
-// retryable) but without hedging.
-func (c *Client) call(ctx context.Context, method, path string, in, out any, retryable bool) error {
-	body, err := marshalBody(in)
-	if err != nil {
-		return err
-	}
+// opFunc is one transport attempt: an HTTP round trip or a wire
+// protocol exchange. The retry, hedging, and breaker layers below are
+// written against this shape, so both transports share one policy
+// implementation and cannot drift.
+type opFunc func(ctx context.Context) (any, error)
+
+// runOp performs op with the client's retry budget (when retryable)
+// but without hedging.
+func (c *Client) runOp(ctx context.Context, endpoint string, retryable bool, op opFunc) (any, error) {
 	retries := c.opts.Retries
 	if !retryable {
 		retries = 0
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, err := c.once(ctx, method, path, body)
+		v, err := c.opOnce(ctx, endpoint, op)
 		if err == nil {
-			return unmarshalBody(data, out)
+			return v, nil
 		}
 		lastErr = err
 		if attempt >= retries || !isRetryable(err) || ctx.Err() != nil {
@@ -399,7 +529,23 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, ret
 			break
 		}
 	}
-	return lastErr
+	return nil, lastErr
+}
+
+// call performs one HTTP API call with the client's retry budget (when
+// retryable) but without hedging.
+func (c *Client) call(ctx context.Context, method, path string, in, out any, retryable bool) error {
+	body, err := marshalBody(in)
+	if err != nil {
+		return err
+	}
+	v, err := c.runOp(ctx, path, retryable, func(ctx context.Context) (any, error) {
+		return c.attempt(ctx, method, path, body)
+	})
+	if err != nil {
+		return err
+	}
+	return unmarshalBody(v.([]byte), out)
 }
 
 // retryDelay picks the pause before the next attempt: the server's
@@ -413,26 +559,22 @@ func retryDelay(err error, backoff time.Duration) time.Duration {
 	return backoff
 }
 
-// callHedged performs a prediction call: hedged when configured,
-// plain retries otherwise.
-func (c *Client) callHedged(ctx context.Context, method, path string, in, out any) error {
+// runOpHedged performs a prediction op: hedged when configured, plain
+// retries otherwise.
+func (c *Client) runOpHedged(ctx context.Context, endpoint string, op opFunc) (any, error) {
 	if c.opts.Hedge <= 0 {
-		return c.call(ctx, method, path, in, out, true)
-	}
-	body, err := marshalBody(in)
-	if err != nil {
-		return err
+		return c.runOp(ctx, endpoint, true, op)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reels the losing racer in
 	type result struct {
-		data []byte
-		err  error
+		v   any
+		err error
 	}
 	results := make(chan result, 2)
 	attempt := func() {
-		data, err := c.once(ctx, method, path, body)
-		results <- result{data, err}
+		v, err := c.opOnce(ctx, endpoint, op)
+		results <- result{v, err}
 	}
 	go attempt()
 	launched := 1
@@ -448,7 +590,7 @@ func (c *Client) callHedged(ctx context.Context, method, path string, in, out an
 			}
 		case r := <-results:
 			if r.err == nil {
-				return unmarshalBody(r.data, out)
+				return r.v, nil
 			}
 			done++
 			if firstErr == nil {
@@ -464,23 +606,43 @@ func (c *Client) callHedged(ctx context.Context, method, path string, in, out an
 			}
 		}
 	}
-	return firstErr
+	return nil, firstErr
 }
 
-// once performs a single HTTP attempt, applying the per-attempt
-// timeout and the endpoint's circuit breaker, and returns the response
-// body on 2xx or a typed error. While the breaker is open the attempt
-// fails with ErrCircuitOpen before any network I/O.
-func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error) {
-	br := c.breakerFor(path)
+// callHedged performs an HTTP prediction call through runOpHedged.
+func (c *Client) callHedged(ctx context.Context, method, path string, in, out any) error {
+	body, err := marshalBody(in)
+	if err != nil {
+		return err
+	}
+	v, err := c.runOpHedged(ctx, path, func(ctx context.Context) (any, error) {
+		return c.attempt(ctx, method, path, body)
+	})
+	if err != nil {
+		return err
+	}
+	return unmarshalBody(v.([]byte), out)
+}
+
+// opOnce performs a single attempt, applying the per-attempt timeout
+// and the endpoint's circuit breaker. While the breaker is open the
+// attempt fails with ErrCircuitOpen before any network I/O.
+func (c *Client) opOnce(ctx context.Context, endpoint string, op opFunc) (any, error) {
+	br := c.breakerFor(endpoint)
 	if br != nil {
 		if err := br.allow(c.now(), c.opts.BreakerCooldown); err != nil {
 			return nil, err
 		}
 	}
-	data, err := c.attempt(ctx, method, path, body)
+	outer := ctx
+	if c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
+	v, err := op(ctx)
 	if br != nil {
-		if err != nil && ctx.Err() != nil {
+		if err != nil && outer.Err() != nil {
 			// The caller's own cancellation or deadline is not evidence
 			// about server health; leave the breaker's window alone (a
 			// half-open probe is released as a success so the next real
@@ -490,7 +652,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 			br.record(err != nil && isBreakerFailure(err), c.now(), c.opts.BreakerThreshold)
 		}
 	}
-	return data, err
+	return v, err
 }
 
 // isBreakerFailure classifies an attempt error for the breaker: server
@@ -548,13 +710,9 @@ func (c *Client) Breakers() []BreakerStats {
 	return out
 }
 
-// attempt is one raw HTTP round trip.
+// attempt is one raw HTTP round trip (the per-attempt timeout is
+// applied by opOnce, shared with the wire transport).
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
-	if c.opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
-		defer cancel()
-	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)

@@ -1,17 +1,28 @@
 // Command servebench load-tests the serving stack end to end through
 // the typed /v1 client: concurrent clients drive predictions over
-// HTTP — deadlines, retries, and hedging included — and the run
-// reports both client-observed latency percentiles and the server's
-// own per-model service metrics.
+// HTTP or the binary wire protocol — deadlines, retries, and hedging
+// included — and the run reports both client-observed latency
+// percentiles and the server's own per-model service metrics.
 //
 // Two targets:
 //
 //   - In-process (default): trains one model on a synthetic workload,
-//     deploys it in a service.Service behind a real HTTP listener on a
+//     deploys it in a service.Service behind a real listener on a
 //     loopback port, and drives that. One command measures the whole
-//     stack: client → HTTP → handler → admission → replica pool.
+//     stack: client → transport → handler → admission → replica pool.
 //   - Remote (-addr): drives an already-running serviced, training
-//     nothing. The named model must be deployed there.
+//     nothing. The named model must be deployed there. The URL scheme
+//     (http://, tcp://, unix://) picks the transport.
+//
+// In-process mode, -transport picks the listener the load drives:
+// http (the JSON API), tcp (the framed wire protocol on a loopback
+// TCP port), or unix (the wire protocol on a unix socket). With -ab
+// the same load runs over all three back to back against one shared
+// service and the run ends with an A/B table — client p50/p99,
+// predictions/s, and end-to-end allocations per served request
+// (client and server live in one process, so the malloc delta counts
+// both sides of the loopback). -json FILE additionally records the
+// A/B results as JSON.
 //
 // SIGINT ends the run early and still flushes the final stats. With
 // -deadline > 0 every request carries that per-request deadline (client
@@ -21,7 +32,7 @@
 // net/http/pprof profiling endpoints are served on that address for
 // the lifetime of the run (`go tool pprof http://<addr>/debug/pprof/profile`).
 //
-// With -fault-rate > 0 (in-process mode only) the loopback server is
+// With -fault-rate > 0 (in-process HTTP only) the loopback server is
 // wrapped in a seeded fault injector: each request fails with a 503 +
 // Retry-After with that probability, drawn from the -fault-seed PRNG so
 // a run replays exactly. The report then includes the injector's fault
@@ -37,15 +48,18 @@
 // Examples:
 //
 //	servebench -model ccnn -task error -replicas 4 -clients 16 -duration 5s
+//	servebench -model ccnn -transport unix -clients 8
+//	servebench -model ccnn -ab -clients 4 -duration 5s -json BENCH_wire.json
 //	servebench -model clstm -batch-window 200us -max-batch 16 -clients 16
 //	servebench -model clstm -deadline 300us -admission reject
 //	servebench -model ccnn -hedge 1ms -retries 3
 //	servebench -model ccnn -fault-rate 0.2 -fault-seed 7 -retries 3
-//	servebench -addr http://prod-host:8080 -model ccnn -clients 64
+//	servebench -addr tcp://prod-host:9090 -model ccnn -clients 64
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +69,7 @@ import (
 	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -67,12 +82,16 @@ import (
 	"repro/internal/faults"
 	"repro/internal/serve"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
 	model := flag.String("model", "ccnn", "model to serve (ccnn, wcnn, clstm, wlstm, ...)")
 	taskName := flag.String("task", "error", "task: error, session, cpu, answer, elapsed")
-	addr := flag.String("addr", "", "base URL of a running serviced (empty = spin up an in-process server)")
+	addr := flag.String("addr", "", "base URL of a running serviced (empty = spin up an in-process server; scheme picks the transport)")
+	transport := flag.String("transport", "http", "in-process listener the load drives: http, tcp (wire protocol), or unix (wire protocol)")
+	ab := flag.Bool("ab", false, "drive the same in-process load over http, tcp, and unix back to back and print an A/B table")
+	jsonOut := flag.String("json", "", "write the -ab results as JSON to this file")
 	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas (in-process mode)")
 	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "concurrent load-generating clients")
 	duration := flag.Duration("duration", 3*time.Second, "load duration")
@@ -96,6 +115,17 @@ func main() {
 	if *duration <= 0 {
 		log.Fatalf("servebench: -duration must be positive, got %s", *duration)
 	}
+	switch *transport {
+	case "http", "tcp", "unix":
+	default:
+		log.Fatalf("servebench: unknown -transport %q (want http, tcp, or unix)", *transport)
+	}
+	if *addr != "" && (*ab || *transport != "http") {
+		log.Fatal("servebench: -ab and -transport apply to the in-process server; with -addr the URL scheme picks the transport")
+	}
+	if *jsonOut != "" && !*ab {
+		log.Fatal("servebench: -json records -ab results; pass -ab too")
+	}
 	if *addr == "" {
 		if *replicas <= 0 {
 			log.Fatalf("servebench: -replicas must be positive, got %d", *replicas)
@@ -109,6 +139,9 @@ func main() {
 	}
 	if *faultRate > 0 && *addr != "" {
 		log.Fatal("servebench: -fault-rate injects faults into the in-process server; it cannot be used with -addr")
+	}
+	if *faultRate > 0 && (*ab || *transport != "http") {
+		log.Fatal("servebench: -fault-rate wraps the HTTP handler; it cannot fault the wire transport")
 	}
 	var policy serve.AdmissionPolicy
 	switch *admission {
@@ -143,9 +176,10 @@ func main() {
 	}
 
 	baseURL := *addr
+	urls := map[string]string{}
 	var inj *faults.Injector
 	if baseURL == "" {
-		// In-process target: train, deploy, serve on a loopback port.
+		// In-process target: train, deploy, serve on loopback listeners.
 		fmt.Fprintf(os.Stderr, "training %s for %s on %d statements...\n", *model, task, len(env.SDSSSplit.Train))
 		m, err := env.Model(*model, task, experiments.HomoInstance)
 		if err != nil {
@@ -189,40 +223,114 @@ func main() {
 		srv := &http.Server{Handler: handler}
 		go srv.Serve(ln)
 		defer srv.Close()
-		baseURL = "http://" + ln.Addr().String()
+		urls["http"] = "http://" + ln.Addr().String()
+
+		if *ab || *transport != "http" {
+			// The wire server shares the service — same registry, same
+			// admission quota — so http-vs-wire differences are pure
+			// transport cost.
+			wsrv := wire.NewServer(svc, wire.ServerOptions{})
+			tln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			go wsrv.Serve(tln)
+			urls["tcp"] = "tcp://" + tln.Addr().String()
+			sock := filepath.Join(os.TempDir(), fmt.Sprintf("servebench-%d.sock", os.Getpid()))
+			os.Remove(sock)
+			uln, err := net.Listen("unix", sock)
+			if err != nil {
+				log.Fatal(err)
+			}
+			go wsrv.Serve(uln)
+			urls["unix"] = "unix://" + sock
+			defer func() {
+				shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				wsrv.Shutdown(shutCtx)
+			}()
+		}
+		baseURL = urls[*transport]
 	}
 
-	c, err := client.New(baseURL, client.Options{
-		Timeout: *reqDeadline,
-		Retries: *retries,
-		Hedge:   *hedge,
-	})
+	copts := client.Options{Timeout: *reqDeadline, Retries: *retries, Hedge: *hedge}
+
+	// SIGINT ends the load early; the final stats still print.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *ab {
+		runAB(sigCtx, urls, copts, *model, stmts, *clients, *duration, *jsonOut)
+		reportServer(urls["http"], copts, *model)
+		return
+	}
+
+	c, err := client.New(baseURL, copts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
-	// SIGINT ends the load early; the final stats still print.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	ctx, cancel := context.WithTimeout(ctx, *duration)
-	defer cancel()
-
 	fmt.Fprintf(os.Stderr, "driving %s via %s with %d clients for %s...\n",
 		*model, baseURL, *clients, *duration)
+	res := drive(sigCtx, c, *model, stmts, *clients, *duration, 0)
+
+	fmt.Printf("client: served=%d throughput=%.0f/s p50=%s p99=%s expired=%d rejected=%d short_circuited=%d failed=%d\n",
+		res.served, float64(res.served)/res.elapsed.Seconds(), res.p(50), res.p(99),
+		res.expired, res.rejected, res.shorted, res.failed)
+	if inj != nil {
+		ops, injected := inj.Stats()
+		fmt.Printf("faults: seed=%d requests=%d injected=%d (rate %.3f)\n",
+			*faultSeed, ops, injected, float64(injected)/float64(max(ops, 1)))
+	}
+	for _, b := range c.Breakers() {
+		fmt.Printf("breaker: %s state=%s failures=%d opened=%d short_circuited=%d\n",
+			b.Endpoint, b.State, b.Failures, b.Opened, b.ShortCircuited)
+	}
+	reportServerWith(c, *model)
+}
+
+// driveResult is one load leg's client-observed outcome.
+type driveResult struct {
+	served, expired, rejected, shorted, failed uint64
+	lats                                       []time.Duration // sorted
+	elapsed                                    time.Duration
+	allocsPerOp                                float64 // process-wide mallocs per served request
+}
+
+// p returns the q-th latency percentile of the served requests.
+func (r driveResult) p(q int) time.Duration {
+	if len(r.lats) == 0 {
+		return 0
+	}
+	return r.lats[(len(r.lats)-1)*q/100]
+}
+
+// drive replays statements through c with the given concurrency for
+// the given duration. warmup requests run (and are discarded) first so
+// connection setup and pool growth stay out of the measured window.
+func drive(parent context.Context, c *client.Client, model string, stmts []string, clients int, duration time.Duration, warmup int) driveResult {
+	for i := 0; i < warmup && parent.Err() == nil; i++ {
+		c.Predict(parent, model, stmts[i%len(stmts)])
+	}
+
+	ctx, cancel := context.WithTimeout(parent, duration)
+	defer cancel()
 
 	var served, expired, rejected, shorted, failed atomic.Uint64
-	lats := make([][]time.Duration, *clients)
+	lats := make([][]time.Duration, clients)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for cl := 0; cl < *clients; cl++ {
+	for cl := 0; cl < clients; cl++ {
 		wg.Add(1)
 		go func(cl int) {
 			defer wg.Done()
 			for i := cl; ctx.Err() == nil; i++ {
 				stmt := stmts[i%len(stmts)]
 				t0 := time.Now()
-				_, err := c.Predict(ctx, *model, stmt)
+				_, err := c.Predict(ctx, model, stmt)
 				switch {
 				case err == nil:
 					served.Add(1)
@@ -255,36 +363,106 @@ func main() {
 		}(cl)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-
+	res := driveResult{
+		served: served.Load(), expired: expired.Load(), rejected: rejected.Load(),
+		shorted: shorted.Load(), failed: failed.Load(), elapsed: time.Since(start),
+	}
+	runtime.ReadMemStats(&m1)
+	res.allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(max(res.served, 1))
 	var all []time.Duration
 	for _, l := range lats {
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	p := func(q int) time.Duration {
-		if len(all) == 0 {
-			return 0
+	res.lats = all
+	return res
+}
+
+// runAB drives the identical load over every transport back to back
+// against the one shared in-process service and prints the comparison.
+func runAB(ctx context.Context, urls map[string]string, copts client.Options, model string, stmts []string, clients int, duration time.Duration, jsonOut string) {
+	order := []string{"http", "tcp", "unix"}
+	results := map[string]driveResult{}
+	for _, tr := range order {
+		if ctx.Err() != nil {
+			break
 		}
-		return all[(len(all)-1)*q/100]
-	}
-	fmt.Printf("client: served=%d throughput=%.0f/s p50=%s p99=%s expired=%d rejected=%d short_circuited=%d failed=%d\n",
-		served.Load(), float64(served.Load())/elapsed.Seconds(), p(50), p(99),
-		expired.Load(), rejected.Load(), shorted.Load(), failed.Load())
-	if inj != nil {
-		ops, injected := inj.Stats()
-		fmt.Printf("faults: seed=%d requests=%d injected=%d (rate %.3f)\n",
-			*faultSeed, ops, injected, float64(injected)/float64(max(ops, 1)))
-	}
-	for _, b := range c.Breakers() {
-		fmt.Printf("breaker: %s state=%s failures=%d opened=%d short_circuited=%d\n",
-			b.Endpoint, b.State, b.Failures, b.Opened, b.ShortCircuited)
+		c, err := client.New(urls[tr], copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "driving %s via %s with %d clients for %s...\n", model, urls[tr], clients, duration)
+		results[tr] = drive(ctx, c, model, stmts, clients, duration, 200)
+		c.Close()
 	}
 
-	// Server-side view (per-model attribution of the same run).
+	fmt.Printf("%-9s %10s %12s %12s %12s %12s\n", "transport", "served", "preds/s", "p50", "p99", "allocs/op")
+	for _, tr := range order {
+		r, ok := results[tr]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-9s %10d %12.0f %12s %12s %12.1f\n",
+			tr, r.served, float64(r.served)/r.elapsed.Seconds(), r.p(50), r.p(99), r.allocsPerOp)
+	}
+
+	if jsonOut == "" {
+		return
+	}
+	type legJSON struct {
+		Served      uint64  `json:"served"`
+		PredsPerSec float64 `json:"preds_per_s"`
+		P50Us       float64 `json:"p50_us"`
+		P99Us       float64 `json:"p99_us"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		Failed      uint64  `json:"failed,omitempty"`
+	}
+	doc := struct {
+		Description string             `json:"description"`
+		Clients     int                `json:"clients"`
+		DurationSec float64            `json:"duration_s"`
+		Model       string             `json:"model"`
+		Results     map[string]legJSON `json:"results"`
+	}{
+		Description: "servebench -ab: identical predict load per transport against one in-process service; allocs/op is the process-wide malloc delta per served request (client+server share the process)",
+		Clients:     clients, DurationSec: duration.Seconds(), Model: model,
+		Results: map[string]legJSON{},
+	}
+	for tr, r := range results {
+		doc.Results[tr] = legJSON{
+			Served: r.served, PredsPerSec: float64(r.served) / r.elapsed.Seconds(),
+			P50Us:       float64(r.p(50)) / float64(time.Microsecond),
+			P99Us:       float64(r.p(99)) / float64(time.Microsecond),
+			AllocsPerOp: r.allocsPerOp, Failed: r.failed,
+		}
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+}
+
+// reportServer prints the server-side per-model stats via a fresh
+// client on the given base URL.
+func reportServer(baseURL string, copts client.Options, model string) {
+	c, err := client.New(baseURL, copts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	reportServerWith(c, model)
+}
+
+// reportServerWith prints the server-side view: per-model attribution
+// of the run plus the batch-width histogram.
+func reportServerWith(c *client.Client, model string) {
 	statsCtx, statsCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer statsCancel()
-	if st, err := c.Stats(statsCtx, *model); err == nil {
+	if st, err := c.Stats(statsCtx, model); err == nil {
 		fmt.Printf("server: %s\n", st.Stats)
 		// Batch-width histogram: how wide the fused forward passes
 		// actually ran, with per-width request latency. eff-batch above

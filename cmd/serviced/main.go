@@ -26,9 +26,17 @@
 // trained after that (predictions for them 404 until deployed; on a
 // restart against a warm store there is nothing left to train).
 //
-// SIGINT/SIGTERM triggers graceful shutdown: the listener stops
-// accepting, in-flight HTTP requests finish (bounded by -drain), and
-// every replica pool is drained and closed.
+// With -wire-addr and/or -wire-unix set, the same service is also
+// exposed over the binary wire protocol (internal/wire) — a framed
+// TCP/unix-socket transport with persistent pipelined connections that
+// removes the HTTP/JSON encode cost from the predict hot path. Both
+// transports share one registry, one admission quota, and one error
+// model; repro/client selects the wire transport with a tcp:// or
+// unix:// base URL.
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listeners stop
+// accepting, in-flight HTTP and wire requests finish (bounded by
+// -drain), and every replica pool is drained and closed.
 //
 // With -pprof-addr set, net/http/pprof profiling endpoints are served
 // on a second, separate listener (never on the API address), so the
@@ -50,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
@@ -63,6 +72,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/serve"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -74,6 +84,8 @@ func main() {
 // config is the parsed flag set of one serviced invocation.
 type config struct {
 	addr      string
+	wireAddr  string
+	wireUnix  string
 	models    []string
 	task      core.Task
 	replicas  int
@@ -92,6 +104,8 @@ type config struct {
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("serviced", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "HTTP listen address")
+	wireAddr := fs.String("wire-addr", "", "binary wire-protocol TCP listen address (empty = disabled)")
+	wireUnix := fs.String("wire-unix", "", "binary wire-protocol unix socket path (empty = disabled)")
 	models := fs.String("models", "ccnn", "comma-separated models to serve (warm-booted from the store or trained)")
 	taskName := fs.String("task", "error", "task: error, session, cpu, answer, elapsed")
 	replicas := fs.Int("replicas", runtime.GOMAXPROCS(0), "inference replicas per deployed model")
@@ -108,7 +122,8 @@ func parseFlags(args []string) (config, error) {
 		return config{}, err
 	}
 	cfg := config{
-		addr: *addr, replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
+		addr: *addr, wireAddr: *wireAddr, wireUnix: *wireUnix,
+		replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
 		window: *window, sessions: *sessions, drain: *drain, pprofAddr: *pprofAddr,
 		storeDir: *storeDir, retain: *retain,
 	}
@@ -183,7 +198,35 @@ func run(args []string, out io.Writer) error {
 	// finishes, so orchestrators can probe readiness instead of
 	// guessing how long warm boot and training take.
 	srv := &http.Server{Addr: cfg.addr, Handler: service.NewHandler(svc)}
-	errc := make(chan error, 1)
+
+	// Wire-protocol listeners bind before anything serves, so an
+	// unusable address fails the start instead of a background goroutine.
+	var wsrv *wire.Server
+	var wireLns []net.Listener
+	if cfg.wireAddr != "" || cfg.wireUnix != "" {
+		wsrv = wire.NewServer(svc, wire.ServerOptions{Logf: log.Printf})
+		if cfg.wireAddr != "" {
+			ln, err := net.Listen("tcp", cfg.wireAddr)
+			if err != nil {
+				return err
+			}
+			wireLns = append(wireLns, ln)
+		}
+		if cfg.wireUnix != "" {
+			os.Remove(cfg.wireUnix) // stale socket from an unclean exit
+			ln, err := net.Listen("unix", cfg.wireUnix)
+			if err != nil {
+				for _, l := range wireLns {
+					l.Close()
+				}
+				return err
+			}
+			wireLns = append(wireLns, ln)
+		}
+	}
+
+	nservers := 1 + len(wireLns)
+	errc := make(chan error, nservers)
 	go func() {
 		fmt.Fprintf(out, "serving on %s\n", cfg.addr)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -192,6 +235,23 @@ func run(args []string, out io.Writer) error {
 		}
 		errc <- nil
 	}()
+	for _, ln := range wireLns {
+		go func(ln net.Listener) {
+			fmt.Fprintf(out, "wire protocol on %s\n", ln.Addr())
+			errc <- wsrv.Serve(ln)
+		}(ln)
+	}
+	// drainErrc collects every server goroutine's exit value after a
+	// shutdown, returning the first failure.
+	drainErrc := func() error {
+		var first error
+		for i := 0; i < nservers; i++ {
+			if err := <-errc; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -204,9 +264,14 @@ func run(args []string, out io.Writer) error {
 		svc.Close()
 		return err
 	case err = <-bootc:
-		if err != nil { // boot failed: tear the listener down
+		if err != nil { // boot failed: tear the listeners down
 			srv.Close()
-			<-errc
+			if wsrv != nil {
+				expired, cancel := context.WithCancel(context.Background())
+				cancel()
+				wsrv.Shutdown(expired) // force-close: nothing worth draining
+			}
+			drainErrc()
 			return err
 		}
 		select {
@@ -224,6 +289,11 @@ func run(args []string, out io.Writer) error {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}
+	if wsrv != nil {
+		if err := wsrv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+	}
 	// Flush final per-model service metrics before the pools go away.
 	for _, name := range cfg.models {
 		if st, info, err := svc.Stats(name); err == nil {
@@ -231,7 +301,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	svc.Close()
-	return <-errc
+	return drainErrc()
 }
 
 // boot brings the registry to its serving state: warm-boot everything

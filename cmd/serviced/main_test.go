@@ -167,8 +167,9 @@ func TestRestartPersistence(t *testing.T) {
 	}
 	dir := t.TempDir()
 	addr := freeAddr(t)
+	wireAddr := freeAddr(t)
 	args := []string{
-		"-addr", addr, "-models", "ccnn", "-task", "error",
+		"-addr", addr, "-wire-addr", wireAddr, "-models", "ccnn", "-task", "error",
 		"-sessions", "200", "-replicas", "1", "-store-dir", dir,
 	}
 	c, err := client.New("http://"+addr, client.Options{Timeout: 10 * time.Second})
@@ -187,11 +188,38 @@ func TestRestartPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// The wire transport must serve the same model: predictions over
+	// tcp:// bit-identical to the HTTP answers.
+	if !strings.Contains(out1.String(), "wire protocol on") {
+		t.Fatalf("serviced did not announce the wire listener; output:\n%s", out1.String())
+	}
+	cw, err := client.New("tcp://"+wireAddr, client.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+	overWire, err := cw.PredictBatch(ctx, "ccnn", probeStatements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probeStatements {
+		if overWire[i].Class != before[i].Class || len(overWire[i].Probs) != len(before[i].Probs) {
+			t.Fatalf("stmt %d: wire %+v, http %+v", i, overWire[i], before[i])
+		}
+		for cidx := range before[i].Probs {
+			if overWire[i].Probs[cidx] != before[i].Probs[cidx] {
+				t.Fatalf("stmt %d prob %d: wire %v != http %v", i, cidx,
+					overWire[i].Probs[cidx], before[i].Probs[cidx])
+			}
+		}
+	}
 	stopServiced(t, done1)
 
 	// Restart against the same store dir on a fresh port.
 	addr2 := freeAddr(t)
 	args[1] = addr2
+	args[3] = freeAddr(t)
 	c2, err := client.New("http://"+addr2, client.Options{Timeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -291,5 +319,61 @@ func TestGracefulShutdownDrain(t *testing.T) {
 	stopServiced(t, done)
 	if err := <-resc; err != nil {
 		t.Fatalf("in-flight batch failed during graceful shutdown: %v", err)
+	}
+}
+
+// TestWireGracefulDrain is the wire-transport twin of the drain test:
+// a pipelined batch in flight on the binary protocol when SIGTERM
+// lands must be answered before the process exits, and the socket must
+// be gone afterwards.
+func TestWireGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model end to end")
+	}
+	addr := freeAddr(t)
+	wireAddr := freeAddr(t)
+	_, done := startServiced(t, []string{
+		"-addr", addr, "-wire-addr", wireAddr, "-models", "ccnn", "-task", "error",
+		"-sessions", "200", "-replicas", "1", "-admission", "block",
+	})
+	ch, err := client.New("http://"+addr, client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	waitLive(t, ch, "ccnn")
+
+	cw, err := client.New("tcp://"+wireAddr, client.Options{Timeout: 30 * time.Second, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+
+	batch := make([]string, 2000)
+	for i := range batch {
+		batch[i] = probeStatements[i%len(probeStatements)]
+	}
+	resc := make(chan error, 1)
+	go func() {
+		out, err := cw.PredictBatch(context.Background(), "ccnn", batch)
+		if err == nil && len(out) != len(batch) {
+			err = context.DeadlineExceeded
+		}
+		resc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the batch reach the server
+	stopServiced(t, done)
+	if err := <-resc; err != nil {
+		t.Fatalf("in-flight wire batch failed during graceful shutdown: %v", err)
+	}
+
+	// The listener is down: a fresh wire request now fails to connect.
+	c2, err := client.New("tcp://"+wireAddr, client.Options{Retries: -1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Predict(context.Background(), "ccnn", probeStatements[0]); err == nil {
+		t.Fatal("predict after shutdown succeeded; listener still alive")
 	}
 }

@@ -4,11 +4,13 @@
 // registry persisted so a restart serves the same bits.
 //
 // It trains a character CNN, deploys it (with a per-model admission
-// quota) into a durable registry, serves it over HTTP, drives
-// concurrent deadline-bounded traffic through the typed client
-// (retries + hedging on), swaps a fine-tuned v2 live mid-traffic with
-// zero downtime, then simulates a restart: a fresh Service over the
-// same store directory warm-boots v2 and answers bit-identically.
+// quota) into a durable registry, serves it over HTTP and the binary
+// wire protocol simultaneously, drives concurrent deadline-bounded
+// traffic through the typed client (retries + hedging on), swaps a
+// fine-tuned v2 live mid-traffic with zero downtime, checks the two
+// transports answer bit-identically, then simulates a restart: a
+// fresh Service over the same store directory warm-boots v2 and
+// answers bit-identically.
 //
 //	go run ./examples/service
 package main
@@ -88,6 +90,30 @@ func main() {
 	}
 	defer c.Close()
 
+	// The same service also goes up on the binary wire protocol: a
+	// client picks it with a tcp:// (or unix://) URL and keeps the
+	// exact same typed API and error semantics, minus the HTTP/JSON
+	// cost on the predict hot path.
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	wsrv := repro.NewWireServer(svc, repro.WireServerOptions{})
+	go wsrv.Serve(wln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		wsrv.Shutdown(ctx)
+	}()
+	cw, err := repro.NewClient("tcp://"+wln.Addr().String(), repro.ClientOptions{
+		Timeout: 5 * time.Millisecond,
+		Retries: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cw.Close()
+
 	// 4. Concurrent deadline-bounded traffic through the client.
 	stmts := make([]string, 0, len(split.Test))
 	for _, item := range split.Test {
@@ -141,6 +167,35 @@ func main() {
 	}
 	fmt.Printf("client: served=%d missed=%d\n", served.Load(), missed.Load())
 	fmt.Printf("server: v%d stats: %s\n", st.Info.LiveVersion, st.Stats)
+
+	// One registry behind both transports: the wire answer carries the
+	// same provenance and bit-identical probabilities as the HTTP one.
+	// Fresh clients with lazy deadlines: the load clients above run
+	// tight 5ms budgets and may have tripped their breakers on a slow
+	// box, which is their job — not this check's.
+	ch2, err := repro.NewClient("http://"+ln.Addr().String(), repro.ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		panic(err)
+	}
+	defer ch2.Close()
+	cw2, err := repro.NewClient("tcp://"+wln.Addr().String(), repro.ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		panic(err)
+	}
+	defer cw2.Close()
+	httpPred, err := ch2.Predict(context.Background(), "errors", stmts[0])
+	if err != nil {
+		panic(err)
+	}
+	wirePred, err := cw2.Predict(context.Background(), "errors", stmts[0])
+	if err != nil {
+		panic(err)
+	}
+	same := wirePred.Version == httpPred.Version && len(wirePred.Probs) == len(httpPred.Probs)
+	for i := range httpPred.Probs {
+		same = same && wirePred.Probs[i] == httpPred.Probs[i]
+	}
+	fmt.Printf("wire vs http: both v%d, bit-identical predictions: %v\n", wirePred.Version, same)
 
 	// 7. "Restart": a fresh Service over the same store directory
 	// warm-boots v2 and predicts bit-identically — no retraining.

@@ -36,10 +36,11 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-// retryAfterSeconds is the backoff hint sent with every 429 and 503:
-// the server-provided pacing the typed client honors in place of its
-// own exponential guess.
-const retryAfterSeconds = 1
+// RetryAfterSeconds is the backoff hint sent with every 429 and 503 —
+// over HTTP as a Retry-After header, over the wire protocol in the
+// error frame — the server-provided pacing the typed client honors in
+// place of its own exponential guess.
+const RetryAfterSeconds = 1
 
 // predictRequest is the /v1/predict body. Exactly one of Statement or
 // Statements must be set.
@@ -54,24 +55,6 @@ type predictRequest struct {
 
 type predictResponse struct {
 	Results []Prediction `json:"results"`
-}
-
-type deployRequest struct {
-	Model   string `json:"model"`
-	Version int    `json:"version,omitempty"` // 0 = latest
-	// Per-deployment pool overrides (the per-model admission quota):
-	// zero values inherit the service-wide template.
-	DeployOptions
-}
-
-type statsResponse struct {
-	Info      ModelInfo   `json:"info"`
-	Completed uint64      `json:"completed"`
-	Rejected  uint64      `json:"rejected"`
-	Canceled  uint64      `json:"canceled"`
-	P50       string      `json:"p50"`
-	P99       string      `json:"p99"`
-	Stats     serve.Stats `json:"stats"`
 }
 
 type errorResponse struct {
@@ -106,7 +89,7 @@ func handlePredict(s *Service, w http.ResponseWriter, r *http.Request) {
 	// concurrently rather than one at a time.
 	results, err := s.PredictBatch(ctx, req.Model, stmts)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, StatusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, predictResponse{Results: results})
@@ -125,7 +108,7 @@ func handleDeploy(s *Service, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	var req deployRequest
+	var req DeployRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -134,43 +117,35 @@ func handleDeploy(s *Service, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("model required"))
 		return
 	}
-	if _, err := req.DeployOptions.apply(s.opts.Serve); err != nil {
+	if err := s.ValidateDeploy(req.DeployOptions); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	info, err := s.Deploy(req.Model, req.Version, req.DeployOptions)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, StatusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
-// healthzResponse is the readiness probe body. Once a warm boot has
-// run, Boot carries its report — loaded/quarantined/skipped counts and
-// the incident log — so an orchestrator (or a human with curl) can
-// tell a clean boot from a degraded one that quarantined artifacts.
-type healthzResponse struct {
-	Status string      `json:"status"`
-	Boot   *BootReport `json:"boot,omitempty"`
-}
-
+// handleHealthz serves the shared Health shape. Once a warm boot has
+// run, its Boot field carries the report — loaded/quarantined/skipped
+// counts and the incident log — so an orchestrator (or a human with
+// curl) can tell a clean boot from a degraded one that quarantined
+// artifacts.
 func handleHealthz(s *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	if !s.Ready() {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "warming up", Boot: s.BootReport()})
+	h, ready := s.Health()
+	if !ready {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	status := "ok"
-	rep := s.BootReport()
-	if rep != nil && rep.Degraded {
-		status = "degraded"
-	}
-	writeJSON(w, http.StatusOK, healthzResponse{Status: status, Boot: rep})
+	writeJSON(w, http.StatusOK, h)
 }
 
 // gcResponse is the /v1/admin/gc body.
@@ -185,7 +160,7 @@ func handleGC(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.GC()
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, StatusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, gcResponse{Results: results})
@@ -201,19 +176,18 @@ func handleStats(s *Service, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("model query parameter required"))
 		return
 	}
-	st, info, err := s.Stats(name)
+	snap, err := s.StatsSnapshot(name)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, StatusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, statsResponse{
-		Info: info, Completed: st.Completed, Rejected: st.Rejected, Canceled: st.Canceled,
-		P50: st.P50.String(), P99: st.P99.String(), Stats: st,
-	})
+	writeJSON(w, http.StatusOK, snap)
 }
 
-// statusFor maps service and context errors onto HTTP statuses.
-func statusFor(err error) int {
+// StatusFor maps service and context errors onto HTTP statuses. The
+// binary wire transport ships exactly these codes in its error frames,
+// so the typed-error ↔ sentinel mapping is transport-independent.
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
@@ -240,7 +214,7 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	// Overload and unavailability responses carry the server's pacing
 	// hint; the typed client honors it over its own backoff schedule.
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

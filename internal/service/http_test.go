@@ -120,7 +120,7 @@ func TestHTTPModelsAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decodeJSON[statsResponse](t, resp)
+	st := decodeJSON[StatsSnapshot](t, resp)
 	if st.Completed == 0 || st.Info.Name != "errors" {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -143,7 +143,7 @@ func TestHTTPDeploy(t *testing.T) {
 	if _, err := s.Register("errors", m); err != nil {
 		t.Fatal(err)
 	}
-	resp := postJSON(t, srv.URL+"/v1/deploy", deployRequest{Model: "errors", Version: 2})
+	resp := postJSON(t, srv.URL+"/v1/deploy", DeployRequest{Model: "errors", Version: 2})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("deploy status = %d", resp.StatusCode)
 	}
@@ -165,12 +165,12 @@ func TestHTTPHealthz(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(s))
 	defer srv.Close()
 
-	get := func() (int, healthzResponse) {
+	get := func() (int, Health) {
 		resp, err := http.Get(srv.URL + "/v1/healthz")
 		if err != nil {
 			t.Fatal(err)
 		}
-		return resp.StatusCode, decodeJSON[healthzResponse](t, resp)
+		return resp.StatusCode, decodeJSON[Health](t, resp)
 	}
 	if code, body := get(); code != http.StatusServiceUnavailable || body.Status != "warming up" {
 		t.Fatalf("pre-boot healthz = %d %+v", code, body)
@@ -194,7 +194,7 @@ func TestHTTPHealthz(t *testing.T) {
 // /v1/deploy and come back out of /v1/models and /v1/stats.
 func TestHTTPDeployQuota(t *testing.T) {
 	_, srv := newTestServer(t)
-	resp := postJSON(t, srv.URL+"/v1/deploy", deployRequest{
+	resp := postJSON(t, srv.URL+"/v1/deploy", DeployRequest{
 		Model: "errors",
 		DeployOptions: DeployOptions{
 			Admission: AdmissionReject, QueueSize: 7, Replicas: 1,
@@ -211,12 +211,12 @@ func TestHTTPDeployQuota(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decodeJSON[statsResponse](t, sresp)
+	st := decodeJSON[StatsSnapshot](t, sresp)
 	if st.Info.Deploy.Admission != AdmissionReject || st.Info.Deploy.QueueSize != 7 {
 		t.Fatalf("stats deploy info = %+v", st.Info)
 	}
 
-	bad := postJSON(t, srv.URL+"/v1/deploy", deployRequest{
+	bad := postJSON(t, srv.URL+"/v1/deploy", DeployRequest{
 		Model:         "errors",
 		DeployOptions: DeployOptions{Admission: "maybe"},
 	})

@@ -403,6 +403,17 @@ func (s *Service) Swap(name string, m *core.Model, opts ...DeployOptions) (Model
 // log- and raw-space values for regression models. ctx bounds the
 // whole request (admission and queueing included).
 func (s *Service) Predict(ctx context.Context, name, stmt string) (Prediction, error) {
+	return s.PredictInto(ctx, name, stmt, nil)
+}
+
+// PredictInto is Predict with caller-owned result storage: for
+// classification models the class distribution is written into probs
+// (grown only when its capacity is insufficient) and the returned
+// Prediction's Probs aliases it. With a capacity-sufficient probs the
+// warm path performs zero allocations — the contract the binary wire
+// transport's hot path is built on. Callers that retain the result
+// across calls must copy Probs.
+func (s *Service) PredictInto(ctx context.Context, name, stmt string, probs []float64) (Prediction, error) {
 	e, err := s.entry(name)
 	if err != nil {
 		return Prediction{}, err
@@ -412,7 +423,7 @@ func (s *Service) Predict(ctx context.Context, name, stmt string) (Prediction, e
 		if lp == nil {
 			return Prediction{}, ErrNotDeployed
 		}
-		pr, err := predictOn(ctx, lp, e, stmt)
+		pr, err := predictOn(ctx, lp, e, stmt, probs)
 		if err == nil || !errors.Is(err, serve.ErrClosed) {
 			return pr, err
 		}
@@ -424,11 +435,12 @@ func (s *Service) Predict(ctx context.Context, name, stmt string) (Prediction, e
 	}
 }
 
-// predictOn runs one prediction against a specific live pool.
-func predictOn(ctx context.Context, lp *livePool, e *entry, stmt string) (Prediction, error) {
+// predictOn runs one prediction against a specific live pool, writing
+// classification probabilities into dst (grown as needed).
+func predictOn(ctx context.Context, lp *livePool, e *entry, stmt string, dst []float64) (Prediction, error) {
 	pr := Prediction{Name: e.name, Version: lp.version, Classification: e.task.IsClassification()}
 	if pr.Classification {
-		probs, err := lp.pred.ProbsCtx(ctx, stmt)
+		probs, err := lp.pred.ProbsIntoCtx(ctx, stmt, dst[:0])
 		if err != nil {
 			return Prediction{}, err
 		}

@@ -1,0 +1,71 @@
+package service
+
+import "repro/internal/serve"
+
+// StatsSnapshot is the single wire shape for one model's service
+// metrics, shared verbatim by the HTTP handler (GET /v1/stats) and the
+// binary wire transport's stats reply. Both transports marshal exactly
+// this struct, so a field added to the serving layer's metrics
+// (EffectiveBatch, Widths, Panics, Rebuilds, ...) can never be present
+// on one transport and missing on the other.
+type StatsSnapshot struct {
+	Info      ModelInfo   `json:"info"`
+	Completed uint64      `json:"completed"`
+	Rejected  uint64      `json:"rejected"`
+	Canceled  uint64      `json:"canceled"`
+	P50       string      `json:"p50"`
+	P99       string      `json:"p99"`
+	Stats     serve.Stats `json:"stats"`
+}
+
+// StatsSnapshot assembles the shared stats shape for name's live
+// deployment.
+func (s *Service) StatsSnapshot(name string) (StatsSnapshot, error) {
+	st, info, err := s.Stats(name)
+	if err != nil {
+		return StatsSnapshot{}, err
+	}
+	return StatsSnapshot{
+		Info: info, Completed: st.Completed, Rejected: st.Rejected, Canceled: st.Canceled,
+		P50: st.P50.String(), P99: st.P99.String(), Stats: st,
+	}, nil
+}
+
+// DeployRequest is the deploy body shared by POST /v1/deploy and the
+// wire transport's MsgDeploy payload: the model, an optional version
+// (0 = latest), and per-deployment pool overrides.
+type DeployRequest struct {
+	Model   string `json:"model"`
+	Version int    `json:"version,omitempty"`
+	DeployOptions
+}
+
+// ValidateDeploy checks deployment overrides against the service's
+// pool template without deploying, so transports can reject a bad
+// request body up front (HTTP and wire both map this onto 400).
+func (s *Service) ValidateDeploy(o DeployOptions) error {
+	_, err := o.apply(s.opts.Serve)
+	return err
+}
+
+// Health is the single readiness shape shared by GET /v1/healthz and
+// the wire transport's healthz reply: the status string ("warming up",
+// "ok", or "degraded") plus the warm boot's report once one has run.
+type Health struct {
+	Status string      `json:"status"`
+	Boot   *BootReport `json:"boot,omitempty"`
+}
+
+// Health reports the service's readiness state and whether it is ready
+// to take traffic (the HTTP handler maps ready=false onto a 503, the
+// wire server onto a typed unavailable error).
+func (s *Service) Health() (Health, bool) {
+	if !s.Ready() {
+		return Health{Status: "warming up", Boot: s.BootReport()}, false
+	}
+	h := Health{Status: "ok", Boot: s.BootReport()}
+	if h.Boot != nil && h.Boot.Degraded {
+		h.Status = "degraded"
+	}
+	return h, true
+}

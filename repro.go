@@ -52,6 +52,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sqlparse"
 	"repro/internal/synth"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -225,6 +226,22 @@ func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 // cmd/serviced serves and the Client consumes.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
+// WireServer serves a Service over the binary wire protocol: a framed
+// TCP/unix-socket transport with persistent pipelined connections and
+// out-of-order replies, sharing the HTTP API's registry, admission
+// quotas, and error model. Feed it listeners with Serve and drain it
+// with Shutdown; NewClient reaches it via a tcp:// or unix:// URL.
+type WireServer = wire.Server
+
+// WireServerOptions configures NewWireServer (payload cap, handler
+// concurrency).
+type WireServerOptions = wire.ServerOptions
+
+// NewWireServer mounts the Service behind the binary wire protocol —
+// the wire counterpart of NewServiceHandler and what
+// `serviced -wire-addr` serves.
+func NewWireServer(s *Service, opts WireServerOptions) *WireServer { return wire.NewServer(s, opts) }
+
 // Store is the registry's pluggable persistence: an opaque blob store
 // (Put/Get/List/Delete) holding model artifacts and deployment
 // markers.
@@ -252,8 +269,10 @@ type ClientOptions = client.Options
 // Client.Stats.
 type ModelStats = client.ModelStats
 
-// NewClient creates a typed /v1 API client for the service at baseURL
-// (e.g. "http://localhost:8080").
+// NewClient creates a typed /v1 API client for the service at baseURL.
+// The scheme picks the transport: "http://host:port" (JSON API) or
+// "tcp://host:port" / "unix:///path.sock" (the binary wire protocol,
+// package repro/internal/wire) — same methods, same typed errors.
 func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 	return client.New(baseURL, opts)
 }
