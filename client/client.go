@@ -1,7 +1,7 @@
 // Package client is the typed Go client for the prediction service
 // (internal/service, cmd/serviced), speaking either the /v1 HTTP/JSON
-// API or the binary wire protocol (internal/wire) depending on the
-// base URL scheme: http:// and https:// select HTTP, tcp:// and
+// API or the binary wire protocol (internal/wire) depending on each
+// node URL's scheme: http:// and https:// select HTTP, tcp:// and
 // unix:// select the framed binary transport with persistent
 // pipelined connections. It replaces hand-rolled HTTP with a library
 // that encodes the API's operational contract:
@@ -21,12 +21,29 @@
 //   - Server-paced backoff: a 429/503 carrying a Retry-After header is
 //     retried after the server's hint, not the client's exponential
 //     guess.
-//   - Per-endpoint circuit breakers: sustained failures trip an
-//     endpoint open, calls fail fast with ErrCircuitOpen (no network),
-//     and a half-open probe after the cooldown closes the circuit once
-//     the server recovers. The readiness probe is exempt.
-//   - Connection reuse: one pooled transport per Client; create one
-//     Client per server and share it across goroutines.
+//   - Per-node, per-endpoint circuit breakers: sustained failures trip
+//     an endpoint open, calls fail fast with ErrCircuitOpen (no
+//     network), and a half-open probe after the cooldown closes the
+//     circuit once the server recovers. The readiness probe is exempt.
+//   - Connection reuse: one pooled transport per node; create one
+//     Client per cluster and share it across goroutines.
+//
+// # Cluster mode
+//
+// With Options.Addrs listing more than one node (mixed schemes
+// allowed), the client becomes cluster-aware. A deterministic
+// consistent-hash ring (internal/cluster) maps each model name to a
+// preferred node and a fixed fallback order — every client with the
+// same address set computes the same order with no coordination — and
+// a background health tracker probes each node's /v1/healthz,
+// classifying nodes up, degraded, or down. Requests route to the
+// first live node in ring order and, on transport error, 5xx, or an
+// open breaker, fail over to the next: the retry budget spans nodes
+// (failing over to a fresh node happens immediately, without backoff),
+// an open breaker is skipped without consuming the budget, and hedged
+// duplicates go to a different node than the primary, turning hedging
+// into cross-replica tail insurance. Down nodes are deprioritized, not
+// banned — probes re-admit a node the moment it answers again.
 //
 // Result types are shared with the service layer (re-exported here
 // and from the repro facade), so a prediction obtained over the wire
@@ -46,8 +63,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/wire"
 )
@@ -133,10 +152,25 @@ func (e *APIError) retryable() bool {
 }
 
 // Options configures a Client. The zero value is usable: no default
-// deadline, 2 retries with 50ms base backoff, no hedging.
+// deadline, 2 retries with 50ms base backoff, no hedging, single node.
 type Options struct {
-	// HTTPClient overrides the underlying *http.Client. nil selects a
-	// dedicated pooled transport (connection reuse across requests).
+	// Addrs lists additional cluster node base URLs beyond New's
+	// baseURL (which may be empty when Addrs is set). Mixed schemes are
+	// allowed — an HTTP node and a wire node are one cluster. With more
+	// than one distinct address the client builds the consistent-hash
+	// ring and starts the background health prober; see the package
+	// comment's Cluster mode section.
+	Addrs []string
+	// ProbeInterval is the per-node health-probe period in cluster mode
+	// (<= 0 selects 500ms). Each cycle adds seeded jitter up to a
+	// quarter interval so probes never thunder in lockstep.
+	ProbeInterval time.Duration
+	// ProbeSeed seeds the probe jitter generator; a fixed seed replays
+	// the probe schedule exactly (tests rely on this).
+	ProbeSeed int64
+	// HTTPClient overrides the underlying *http.Client for HTTP nodes.
+	// nil selects a dedicated pooled transport per node (connection
+	// reuse across requests).
 	HTTPClient *http.Client
 	// Timeout is the per-attempt deadline applied to every request
 	// when > 0, layered under any caller context deadline. Each retry
@@ -144,7 +178,9 @@ type Options struct {
 	Timeout time.Duration
 	// Retries is the maximum number of re-attempts after a retryable
 	// failure (429, 5xx, transport error). 0 selects the default of 2;
-	// negative disables retries.
+	// negative disables retries. In cluster mode the budget spans
+	// nodes: each retry fails over to the next node in ring order, and
+	// a fresh node is tried immediately, without backoff.
 	Retries int
 	// Backoff is the delay before the first retry, doubling per
 	// subsequent retry. <= 0 selects the default of 50ms.
@@ -154,11 +190,16 @@ type Options struct {
 	// with a retryable error sooner — is raced by one duplicate, and
 	// the first successful response wins. The hedge doubles as the
 	// retry for hedged calls, so a hedged call issues at most two
-	// attempts total.
+	// attempts total. In cluster mode the duplicate goes to a
+	// different node than the primary.
 	Hedge time.Duration
 	// BreakerThreshold is the failure rate over a full BreakerWindow of
 	// attempts that opens an endpoint's circuit breaker (short-circuit
 	// calls with ErrCircuitOpen instead of hammering a failing server).
+	// Breakers are per node per endpoint: one node's trouble never
+	// trips another's circuit, and an open breaker on the preferred
+	// node short-circuits straight to the fallback with zero network
+	// calls to the tripped node.
 	// 0 selects the default of 0.5; negative disables the breaker.
 	// /v1/healthz is always exempt, so readiness polling keeps working
 	// while everything else is tripped.
@@ -191,52 +232,160 @@ func (o Options) resolved() Options {
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = time.Second
 	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
 	return o
 }
 
-// Client is a typed /v1 API client. Safe for concurrent use; create
-// one per server and share it.
-type Client struct {
-	base string
+// node is one cluster member: its canonical address (the ring key),
+// its transport, its circuit breakers, and its traffic counters.
+type node struct {
+	addr string // canonical address, e.g. "http://host:port", "tcp://host:port"
+	base string // HTTP base URL ("" for wire nodes)
 	http *http.Client
 	// wire, when non-nil, replaces HTTP with the binary wire transport
-	// (tcp:// and unix:// base URLs). Retry, hedging, breaker, and
+	// (tcp:// and unix:// addresses). Retry, hedging, breaker, and
 	// sentinel-error semantics are identical across transports.
 	wire *wire.Client
-	opts Options
+
+	// breakers maps endpoint path -> circuit breaker, created lazily.
+	// Per node: one node's failures never open another node's circuit.
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+
+	// served counts successful calls answered by this node; failovers
+	// counts those that were routed here after the preferred node
+	// failed or short-circuited.
+	served    atomic.Uint64
+	failovers atomic.Uint64
+}
+
+// Client is a typed /v1 API client over one node or a cluster. Safe
+// for concurrent use; create one per cluster and share it.
+type Client struct {
+	// nodes is indexed identically to ring's Addrs (sorted canonical
+	// addresses), so ring orders index into it directly.
+	nodes []*node
+	// ring and tracker are nil in single-node mode: no routing to
+	// compute, no probe goroutines to run.
+	ring    *cluster.Ring
+	tracker *cluster.Tracker
+	opts    Options
 
 	// sleep and now are the backoff and breaker clocks, swappable in
 	// tests for deterministic timing.
 	sleep func(ctx context.Context, d time.Duration) error
 	now   func() time.Time
 
-	// breakers maps endpoint path -> circuit breaker, created lazily.
-	bmu      sync.Mutex
-	breakers map[string]*breaker
+	// routes pools []int failover-order scratch so routing a request
+	// allocates nothing on the warm path.
+	routes sync.Pool
 }
 
-// New creates a client for the service at baseURL. The URL scheme
-// picks the transport:
+// New creates a client for the service at baseURL, plus any additional
+// cluster nodes in opts.Addrs (baseURL may be "" when Addrs is set).
+// Each URL's scheme picks that node's transport:
 //
 //	http://host:port   HTTP/JSON (also https://)
 //	tcp://host:port    binary wire protocol over TCP
 //	unix:///path.sock  binary wire protocol over a unix socket
 //
 // Every client behavior — retries, hedging, breakers, sentinel errors,
-// server-paced backoff — is transport-independent.
+// server-paced backoff, ring routing and failover — is
+// transport-independent.
 func New(baseURL string, opts Options) (*Client, error) {
-	u, err := url.Parse(baseURL)
-	if err != nil {
-		return nil, fmt.Errorf("client: base URL: %w", err)
+	raw := make([]string, 0, 1+len(opts.Addrs))
+	if baseURL != "" {
+		raw = append(raw, baseURL)
+	}
+	raw = append(raw, opts.Addrs...)
+	if len(raw) == 0 {
+		return nil, errors.New("client: no server address (empty base URL and no Addrs)")
+	}
+	addrs := make([]string, 0, len(raw))
+	for _, a := range raw {
+		canon, err := canonicalAddr(a)
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, canon)
 	}
 	c := &Client{
-		opts:     opts.resolved(),
-		sleep:    sleepCtx,
-		now:      time.Now,
-		breakers: make(map[string]*breaker),
+		opts:  opts.resolved(),
+		sleep: sleepCtx,
+		now:   time.Now,
+	}
+	// The ring dedupes and sorts; building nodes from its Addrs keeps
+	// node indices aligned with ring orders on every client regardless
+	// of how the caller listed the addresses.
+	ring := cluster.NewRing(addrs, 0)
+	for _, addr := range ring.Addrs() {
+		n, err := newNode(addr, c.opts)
+		if err != nil {
+			for _, prev := range c.nodes {
+				prev.close()
+			}
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	c.routes.New = func() any {
+		s := make([]int, 0, len(c.nodes))
+		return &s
+	}
+	if len(c.nodes) > 1 {
+		c.ring = ring
+		probes := make([]cluster.Probe, len(c.nodes))
+		for i, n := range c.nodes {
+			n := n
+			probes[i] = func(ctx context.Context) (bool, error) {
+				return c.probeNode(ctx, n)
+			}
+		}
+		c.tracker = cluster.NewTracker(probes, cluster.TrackerOptions{
+			Interval: c.opts.ProbeInterval,
+			Seed:     c.opts.ProbeSeed,
+		})
+	}
+	return c, nil
+}
+
+// canonicalAddr normalizes one node URL so that textual variants of
+// the same address ("http://h:1/" vs "http://h:1") collapse to one
+// ring key, and validates the scheme.
+func canonicalAddr(a string) (string, error) {
+	u, err := url.Parse(a)
+	if err != nil {
+		return "", fmt.Errorf("client: node URL %q: %w", a, err)
 	}
 	switch u.Scheme {
 	case "http", "https":
+		return strings.TrimRight(u.String(), "/"), nil
+	case "tcp":
+		if u.Host == "" {
+			return "", fmt.Errorf("client: node URL %q: tcp scheme requires host:port", a)
+		}
+		return "tcp://" + u.Host, nil
+	case "unix":
+		path := u.Path
+		if path == "" {
+			path = u.Opaque
+		}
+		if path == "" {
+			return "", fmt.Errorf("client: node URL %q: unix scheme requires a socket path", a)
+		}
+		return "unix://" + path, nil
+	default:
+		return "", fmt.Errorf("client: node URL %q: scheme must be http, https, tcp, or unix", a)
+	}
+}
+
+// newNode builds one node's transport from its canonical address.
+func newNode(addr string, opts Options) (*node, error) {
+	n := &node{addr: addr, breakers: make(map[string]*breaker)}
+	switch {
+	case strings.HasPrefix(addr, "http://"), strings.HasPrefix(addr, "https://"):
 		hc := opts.HTTPClient
 		if hc == nil {
 			hc = &http.Client{Transport: &http.Transport{
@@ -245,36 +394,101 @@ func New(baseURL string, opts Options) (*Client, error) {
 				IdleConnTimeout:     90 * time.Second,
 			}}
 		}
-		c.base = strings.TrimRight(u.String(), "/")
-		c.http = hc
-	case "tcp":
-		if u.Host == "" {
-			return nil, fmt.Errorf("client: base URL %q: tcp scheme requires host:port", baseURL)
-		}
-		c.wire = wire.Dial("tcp", u.Host, wire.ClientOptions{})
-	case "unix":
-		path := u.Path
-		if path == "" {
-			path = u.Opaque
-		}
-		if path == "" {
-			return nil, fmt.Errorf("client: base URL %q: unix scheme requires a socket path", baseURL)
-		}
-		c.wire = wire.Dial("unix", path, wire.ClientOptions{})
+		n.base = addr
+		n.http = hc
+	case strings.HasPrefix(addr, "tcp://"):
+		n.wire = wire.Dial("tcp", strings.TrimPrefix(addr, "tcp://"), wire.ClientOptions{})
+	case strings.HasPrefix(addr, "unix://"):
+		n.wire = wire.Dial("unix", strings.TrimPrefix(addr, "unix://"), wire.ClientOptions{})
 	default:
-		return nil, fmt.Errorf("client: base URL %q: scheme must be http, https, tcp, or unix", baseURL)
+		return nil, fmt.Errorf("client: node URL %q: scheme must be http, https, tcp, or unix", addr)
 	}
-	return c, nil
+	return n, nil
 }
 
-// Close releases the transport (idle HTTP connections, or the wire
-// connection pool). The client must not be used after.
-func (c *Client) Close() {
-	if c.wire != nil {
-		c.wire.Close()
+// close releases one node's transport.
+func (n *node) close() {
+	if n.wire != nil {
+		n.wire.Close()
 		return
 	}
-	c.http.CloseIdleConnections()
+	if n.http != nil {
+		n.http.CloseIdleConnections()
+	}
+}
+
+// Close stops the health prober (waiting for its goroutines — a closed
+// client leaks none) and releases every node's transport (idle HTTP
+// connections, wire connection pools). The client must not be used
+// after.
+func (c *Client) Close() {
+	if c.tracker != nil {
+		c.tracker.Close()
+	}
+	for _, n := range c.nodes {
+		n.close()
+	}
+}
+
+// NodeStats is one cluster node's client-side view: its health state
+// as the background prober last saw it and its traffic counters.
+type NodeStats struct {
+	// Addr is the node's canonical address.
+	Addr string `json:"addr"`
+	// State is "up", "degraded", or "down" ("up" always, in
+	// single-node mode — there is no prober to say otherwise).
+	State string `json:"state"`
+	// Served counts successful calls answered by this node.
+	Served uint64 `json:"served"`
+	// Failovers counts served calls that were routed here after the
+	// preferred node failed, short-circuited, or lost a hedge race.
+	Failovers uint64 `json:"failovers"`
+}
+
+// Nodes snapshots every cluster node in ring (address-sorted) order.
+func (c *Client) Nodes() []NodeStats {
+	out := make([]NodeStats, len(c.nodes))
+	for i, n := range c.nodes {
+		st := cluster.StateUp
+		if c.tracker != nil {
+			st = c.tracker.State(i)
+		}
+		out[i] = NodeStats{
+			Addr:      n.addr,
+			State:     st.String(),
+			Served:    n.served.Load(),
+			Failovers: n.failovers.Load(),
+		}
+	}
+	return out
+}
+
+// probeNode is the tracker's health probe: one raw healthz exchange
+// (no retries, no breaker — the probe is the mechanism that decides
+// when a node is worth retrying). A 200 whose body reports
+// status "degraded" marks the node degraded rather than down.
+func (c *Client) probeNode(ctx context.Context, n *node) (degraded bool, err error) {
+	data, err := n.healthz(ctx)
+	if err != nil {
+		return false, err
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if json.Unmarshal(data, &h) == nil && h.Status == "degraded" {
+		return true, nil
+	}
+	return false, nil
+}
+
+// healthz performs one readiness exchange against this node, returning
+// the health document on 200.
+func (n *node) healthz(ctx context.Context) ([]byte, error) {
+	if n.wire != nil {
+		data, err := n.wire.Call(ctx, wire.MsgHealthz, nil)
+		return data, wireErr(err)
+	}
+	return n.attempt(ctx, http.MethodGet, "/v1/healthz", nil)
 }
 
 // wireErr translates a wire-transport failure into the client's error
@@ -284,6 +498,12 @@ func (c *Client) Close() {
 // handler would have sent); transport failures pass through and count
 // as retryable, like an HTTP connection error.
 func wireErr(err error) error {
+	if err == nil {
+		// Early out before taking &se below: its escape into
+		// errors.As's any parameter would cost the success path one
+		// allocation per call.
+		return nil
+	}
 	var se *wire.ServerError
 	if errors.As(err, &se) {
 		return &APIError{
@@ -293,21 +513,6 @@ func wireErr(err error) error {
 		}
 	}
 	return err
-}
-
-// wireCall performs one control-plane call over the wire transport
-// with the same retry policy shape as call. The endpoint string keys
-// the circuit breaker, using the HTTP path names so breaker stats and
-// the healthz exemption are transport-independent.
-func (c *Client) wireCall(ctx context.Context, t wire.MsgType, endpoint string, reqJSON []byte, out any, retryable bool) error {
-	v, err := c.runOp(ctx, endpoint, retryable, func(ctx context.Context) (any, error) {
-		data, err := c.wire.Call(ctx, t, reqJSON)
-		return data, wireErr(err)
-	})
-	if err != nil {
-		return err
-	}
-	return unmarshalBody(v.([]byte), out)
 }
 
 // predictRequest mirrors the /v1/predict body.
@@ -329,26 +534,147 @@ type deployRequest struct {
 	DeployOptions
 }
 
+// deadlineMs converts the configured per-attempt timeout into the
+// deadline_ms the HTTP predict body ships server-side.
+func (c *Client) deadlineMs() int {
+	if c.opts.Timeout <= 0 {
+		return 0
+	}
+	// Round up so the server-side deadline is never shorter than the
+	// client's (a sub-millisecond timeout still ships 1ms).
+	return int((c.opts.Timeout + time.Millisecond - 1) / time.Millisecond)
+}
+
 // Predict runs one prediction against model's live version. It is
 // retried (and hedged, if configured) on retryable failures; the
 // configured Timeout also rides to the server as deadline_ms so the
 // request is cancelled server-side, not just abandoned.
 func (c *Client) Predict(ctx context.Context, model, statement string) (Prediction, error) {
-	if c.wire != nil {
-		v, err := c.runOpHedged(ctx, "/v1/predict", func(ctx context.Context) (any, error) {
-			pr, err := c.wire.Predict(ctx, model, statement)
-			return pr, wireErr(err)
+	pr, _, err := c.PredictInto(ctx, model, statement, nil)
+	return pr, err
+}
+
+// PredictInto is Predict with caller-owned result storage: class
+// probabilities are decoded into probs (grown only when capacity is
+// insufficient) and the returned slice is passed back in on the next
+// call. Over a wire transport with Options.Timeout == 0 and hedging
+// off, a warm PredictInto performs zero allocations end to end — the
+// service layer's PredictInto contract extended through the client.
+// Callers that retain the result across calls must copy Probs.
+func (c *Client) PredictInto(ctx context.Context, model, statement string, probs []float64) (Prediction, []float64, error) {
+	if c.opts.Hedge > 0 {
+		// Hedging races goroutines and cannot share one probs buffer;
+		// it allocates by nature.
+		v, err := c.runOpHedged(ctx, model, "/v1/predict", func(ctx context.Context, n *node) (any, error) {
+			if n.wire != nil {
+				pr, err := n.wire.Predict(ctx, model, statement)
+				return pr, wireErr(err)
+			}
+			return n.predictHTTP(ctx, model, statement, c.deadlineMs())
 		})
 		if err != nil {
-			return Prediction{}, err
+			return Prediction{}, probs, err
 		}
-		return v.(Prediction), nil
+		return v.(Prediction), probs, nil
 	}
-	out, err := c.PredictBatch(ctx, model, []string{statement})
+
+	// Unhedged path: a typed retry/failover loop with no closures and
+	// no interface boxing, mirroring runOp exactly. The duplication is
+	// the price of the 0-alloc contract.
+	order := c.route(model)
+	defer c.putRoute(order)
+	retries := c.opts.Retries
+	var lastErr, shortErr error
+	retried, shorts, pos := 0, 0, 0
+	for {
+		idx := (*order)[pos%len(*order)]
+		n := c.nodes[idx]
+		pr, out, err := c.predictOnce(ctx, n, model, statement, probs)
+		probs = out
+		if err == nil {
+			n.served.Add(1)
+			if pos > 0 {
+				n.failovers.Add(1)
+			}
+			return pr, probs, nil
+		}
+		if errors.Is(err, ErrCircuitOpen) {
+			shortErr = err
+			shorts++
+			if shorts >= len(*order) || ctx.Err() != nil {
+				break
+			}
+			pos++
+			continue
+		}
+		shorts = 0
+		lastErr = err
+		if retried >= retries || !isRetryable(err) || ctx.Err() != nil {
+			break
+		}
+		pos++
+		if c.failoverPause(ctx, *order, pos, err, retried) != nil {
+			break
+		}
+		retried++
+	}
+	if lastErr == nil {
+		lastErr = shortErr
+	}
+	return Prediction{}, probs, lastErr
+}
+
+// predictOnce is one typed predict attempt against one node, under its
+// breaker and the per-attempt timeout.
+func (c *Client) predictOnce(ctx context.Context, n *node, model, statement string, probs []float64) (Prediction, []float64, error) {
+	br := c.breakerFor(n, "/v1/predict")
+	if br != nil {
+		if err := br.allow(c.now(), c.opts.BreakerCooldown); err != nil {
+			return Prediction{}, probs, err
+		}
+	}
+	outer := ctx
+	if c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
+	var pr Prediction
+	var err error
+	if n.wire != nil {
+		pr, probs, err = n.wire.PredictInto(ctx, model, statement, probs)
+		err = wireErr(err)
+	} else {
+		var v any
+		v, err = n.predictHTTP(ctx, model, statement, c.deadlineMs())
+		if err == nil {
+			pr = v.(Prediction)
+		}
+	}
+	c.recordBreaker(br, outer, err)
+	return pr, probs, err
+}
+
+// predictHTTP is one single-statement predict over a node's HTTP
+// transport (the JSON round trip allocates; the 0-alloc contract is
+// the wire transport's).
+func (n *node) predictHTTP(ctx context.Context, model, statement string, deadlineMs int) (any, error) {
+	body, err := marshalBody(predictRequest{Model: model, Statement: statement, DeadlineMs: deadlineMs})
 	if err != nil {
-		return Prediction{}, err
+		return nil, err
 	}
-	return out[0], nil
+	data, err := n.attempt(ctx, http.MethodPost, "/v1/predict", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp predictResponse
+	if err := unmarshalBody(data, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("client: predict returned %d results for 1 statement", len(resp.Results))
+	}
+	return resp.Results[0], nil
 }
 
 // PredictBatch runs one prediction per statement, in input order, with
@@ -357,48 +683,45 @@ func (c *Client) PredictBatch(ctx context.Context, model string, statements []st
 	if len(statements) == 0 {
 		return nil, nil
 	}
-	if c.wire != nil {
-		v, err := c.runOpHedged(ctx, "/v1/predict", func(ctx context.Context) (any, error) {
-			prs, err := c.wire.PredictBatch(ctx, model, statements)
+	var body []byte
+	v, err := c.runOpHedged(ctx, model, "/v1/predict", func(ctx context.Context, n *node) (any, error) {
+		if n.wire != nil {
+			prs, err := n.wire.PredictBatch(ctx, model, statements)
 			return prs, wireErr(err)
-		})
+		}
+		if body == nil {
+			var err error
+			body, err = marshalBody(predictRequest{Model: model, Statements: statements, DeadlineMs: c.deadlineMs()})
+			if err != nil {
+				return nil, err
+			}
+		}
+		data, err := n.attempt(ctx, http.MethodPost, "/v1/predict", body)
 		if err != nil {
 			return nil, err
 		}
-		out := v.([]Prediction)
-		if len(out) != len(statements) {
-			return nil, fmt.Errorf("client: predict returned %d results for %d statements",
-				len(out), len(statements))
-		}
-		return out, nil
-	}
-	req := predictRequest{Model: model, Statements: statements}
-	if c.opts.Timeout > 0 {
-		// Round up so the server-side deadline is never shorter than
-		// the client's (a sub-millisecond timeout still ships 1ms).
-		req.DeadlineMs = int((c.opts.Timeout + time.Millisecond - 1) / time.Millisecond)
-	}
-	var resp predictResponse
-	if err := c.callHedged(ctx, http.MethodPost, "/v1/predict", req, &resp); err != nil {
-		return nil, err
-	}
-	if len(resp.Results) != len(statements) {
-		return nil, fmt.Errorf("client: predict returned %d results for %d statements",
-			len(resp.Results), len(statements))
-	}
-	return resp.Results, nil
-}
-
-// Models lists every registered model.
-func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
-	var out []ModelInfo
-	if c.wire != nil {
-		if err := c.wireCall(ctx, wire.MsgModels, "/v1/models", nil, &out, true); err != nil {
+		var resp predictResponse
+		if err := unmarshalBody(data, &resp); err != nil {
 			return nil, err
 		}
-		return out, nil
+		return resp.Results, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := c.call(ctx, http.MethodGet, "/v1/models", nil, &out, true); err != nil {
+	out := v.([]Prediction)
+	if len(out) != len(statements) {
+		return nil, fmt.Errorf("client: predict returned %d results for %d statements",
+			len(out), len(statements))
+	}
+	return out, nil
+}
+
+// Models lists every registered model (from whichever node the empty
+// routing key prefers, failing over like any read).
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var out []ModelInfo
+	if err := c.call(ctx, "", http.MethodGet, wire.MsgModels, "/v1/models", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -407,6 +730,9 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 // Deploy makes version of model live (version 0 = latest), optionally
 // overriding the pool template for this deployment. Deploys are not
 // retried: the caller decides whether re-issuing one is appropriate.
+// In cluster mode the deploy routes to the model's ring-preferred node
+// — writes for one model funnel through one node — and the shared
+// store propagates it to the rest of the cluster.
 func (c *Client) Deploy(ctx context.Context, model string, version int, opts ...DeployOptions) (ModelInfo, error) {
 	if len(opts) > 1 {
 		return ModelInfo{}, errors.New("client: deploy: at most one DeployOptions")
@@ -415,39 +741,39 @@ func (c *Client) Deploy(ctx context.Context, model string, version int, opts ...
 	if len(opts) == 1 {
 		req.DeployOptions = opts[0]
 	}
-	var info ModelInfo
-	if c.wire != nil {
-		body, err := marshalBody(req)
-		if err != nil {
-			return ModelInfo{}, err
-		}
-		if err := c.wireCall(ctx, wire.MsgDeploy, "/v1/deploy", body, &info, false); err != nil {
-			return ModelInfo{}, err
-		}
-		return info, nil
+	body, err := marshalBody(req)
+	if err != nil {
+		return ModelInfo{}, err
 	}
-	if err := c.call(ctx, http.MethodPost, "/v1/deploy", req, &info, false); err != nil {
+	var info ModelInfo
+	if err := c.call(ctx, model, http.MethodPost, wire.MsgDeploy, "/v1/deploy", body, &info, false); err != nil {
 		return ModelInfo{}, err
 	}
 	return info, nil
 }
 
 // Stats fetches model's live-deployment service metrics (throughput,
-// latency percentiles, per-model rejection counts).
+// latency percentiles, per-model rejection counts) from the model's
+// ring-preferred node. Stats are per node, not cluster-aggregated.
 func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
 	var st ModelStats
-	if c.wire != nil {
-		body, err := marshalBody(struct {
-			Model string `json:"model"`
-		}{model})
-		if err != nil {
-			return st, err
+	v, err := c.runOp(ctx, model, "/v1/stats", true, func(ctx context.Context, n *node) (any, error) {
+		if n.wire != nil {
+			body, err := marshalBody(struct {
+				Model string `json:"model"`
+			}{model})
+			if err != nil {
+				return nil, err
+			}
+			data, err := n.wire.Call(ctx, wire.MsgStats, body)
+			return data, wireErr(err)
 		}
-		err = c.wireCall(ctx, wire.MsgStats, "/v1/stats", body, &st, true)
+		return n.attempt(ctx, http.MethodGet, "/v1/stats?model="+url.QueryEscape(model), nil)
+	})
+	if err != nil {
 		return st, err
 	}
-	err := c.call(ctx, http.MethodGet, "/v1/stats?model="+url.QueryEscape(model), nil, &st, true)
-	return st, err
+	return st, unmarshalBody(v.([]byte), &st)
 }
 
 // GCResult is one model's outcome of a retention pass, as served by
@@ -459,33 +785,44 @@ type gcResponse struct {
 	Results []GCResult `json:"results"`
 }
 
-// GC runs the server's model retention pass now, returning what each
-// model pruned and kept. Not retried — like Deploy, it changes state.
+// GC runs a retention pass now on the node the empty routing key
+// prefers, returning what each model pruned and kept. Not retried —
+// like Deploy, it changes state.
 func (c *Client) GC(ctx context.Context) ([]GCResult, error) {
 	var resp gcResponse
-	if c.wire != nil {
-		if err := c.wireCall(ctx, wire.MsgGC, "/v1/admin/gc", nil, &resp, false); err != nil {
-			return nil, err
-		}
-		return resp.Results, nil
-	}
-	if err := c.call(ctx, http.MethodPost, "/v1/admin/gc", nil, &resp, false); err != nil {
+	if err := c.call(ctx, "", http.MethodPost, wire.MsgGC, "/v1/admin/gc", nil, &resp, false); err != nil {
 		return nil, err
 	}
 	return resp.Results, nil
 }
 
-// Healthz probes readiness: nil once the server has warm-booted,
-// ErrUnavailable (via *APIError) while it is warming up or draining.
-// Not retried — a readiness probe reports, it does not wait.
+// Healthz probes readiness: nil once a node is ready to take traffic,
+// the last node's error while every node is warming up, draining, or
+// unreachable (ErrUnavailable via *APIError for a warming node). Nodes
+// are polled in ring-address order with no retries and no breaker — a
+// readiness probe reports, it does not wait.
 func (c *Client) Healthz(ctx context.Context) error {
-	if c.wire != nil {
-		return c.wireCall(ctx, wire.MsgHealthz, "/v1/healthz", nil, nil, false)
+	var lastErr error
+	for _, n := range c.nodes {
+		atCtx := ctx
+		if c.opts.Timeout > 0 {
+			var cancel context.CancelFunc
+			atCtx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+			defer cancel()
+		}
+		_, err := n.healthz(atCtx)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	return c.call(ctx, http.MethodGet, "/v1/healthz", nil, nil, false)
+	return lastErr
 }
 
-// WaitReady polls Healthz until the server reports ready or ctx
+// WaitReady polls Healthz until some node reports ready or ctx
 // expires, for boot orchestration.
 func (c *Client) WaitReady(ctx context.Context) error {
 	for {
@@ -502,45 +839,118 @@ func (c *Client) WaitReady(ctx context.Context) error {
 	}
 }
 
-// opFunc is one transport attempt: an HTTP round trip or a wire
-// protocol exchange. The retry, hedging, and breaker layers below are
-// written against this shape, so both transports share one policy
-// implementation and cannot drift.
-type opFunc func(ctx context.Context) (any, error)
+// opFunc is one transport attempt against one node: an HTTP round trip
+// or a wire protocol exchange. The retry, hedging, failover, and
+// breaker layers below are written against this shape, so both
+// transports share one policy implementation and cannot drift.
+type opFunc func(ctx context.Context, n *node) (any, error)
+
+// route returns the failover order for key as a pooled slice of node
+// indices: ring order, stably partitioned so nodes the prober believes
+// up come first, then degraded, then down. Down nodes stay in the
+// order — when everything better has failed, a request is the best
+// probe there is. Callers return the slice via putRoute.
+func (c *Client) route(key string) *[]int {
+	order := c.routes.Get().(*[]int)
+	if c.ring == nil {
+		*order = append((*order)[:0], 0)
+		return order
+	}
+	*order = c.ring.OrderInto(key, (*order)[:0])
+	// Stable insertion sort by tracker state: clusters are small and
+	// the sort must not allocate. Stability preserves ring order within
+	// each state class.
+	s := *order
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && c.tracker.State(s[j-1]) > c.tracker.State(s[j]); j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return order
+}
+
+func (c *Client) putRoute(order *[]int) {
+	c.routes.Put(order)
+}
+
+// failoverPause sleeps the backoff before a retry only when the retry
+// re-targets a node already tried this op (single node, or a wrapped
+// cycle): failing over to a fresh node happens immediately — pausing
+// first would waste exactly the time failover exists to save — while
+// hammering the same node without backoff is what retries-with-backoff
+// exist to avoid. Returns non-nil when ctx ended the pause.
+func (c *Client) failoverPause(ctx context.Context, order []int, pos int, err error, retried int) error {
+	if pos < len(order) {
+		return nil // fresh node: immediate failover
+	}
+	return c.sleep(ctx, retryDelay(err, c.opts.Backoff<<retried))
+}
 
 // runOp performs op with the client's retry budget (when retryable)
-// but without hedging.
-func (c *Client) runOp(ctx context.Context, endpoint string, retryable bool, op opFunc) (any, error) {
+// but without hedging, failing over across the key's route: a
+// retryable failure advances to the next node (consuming budget), an
+// open breaker skips to the next node without consuming budget, and a
+// full cycle of short-circuits fails fast with ErrCircuitOpen.
+func (c *Client) runOp(ctx context.Context, key, endpoint string, retryable bool, op opFunc) (any, error) {
+	order := c.route(key)
+	defer c.putRoute(order)
 	retries := c.opts.Retries
 	if !retryable {
 		retries = 0
 	}
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		v, err := c.opOnce(ctx, endpoint, op)
+	var lastErr, shortErr error
+	retried, shorts, pos := 0, 0, 0
+	for {
+		idx := (*order)[pos%len(*order)]
+		n := c.nodes[idx]
+		v, err := c.opOnce(ctx, n, endpoint, op)
 		if err == nil {
+			n.served.Add(1)
+			if pos > 0 {
+				n.failovers.Add(1)
+			}
 			return v, nil
 		}
+		if errors.Is(err, ErrCircuitOpen) {
+			// A short-circuit is free (no network): skip to the next
+			// node without consuming the retry budget. For ops with no
+			// budget (deploys) this is still correct — the tripped node
+			// was never attempted, so this is routing, not retrying.
+			shortErr = err
+			shorts++
+			if shorts >= len(*order) || ctx.Err() != nil {
+				break
+			}
+			pos++
+			continue
+		}
+		shorts = 0
 		lastErr = err
-		if attempt >= retries || !isRetryable(err) || ctx.Err() != nil {
+		if retried >= retries || !isRetryable(err) || ctx.Err() != nil {
 			break
 		}
-		if err := c.sleep(ctx, retryDelay(err, c.opts.Backoff<<attempt)); err != nil {
+		pos++
+		if c.failoverPause(ctx, *order, pos, err, retried) != nil {
 			break
 		}
+		retried++
+	}
+	if lastErr == nil {
+		lastErr = shortErr
 	}
 	return nil, lastErr
 }
 
-// call performs one HTTP API call with the client's retry budget (when
-// retryable) but without hedging.
-func (c *Client) call(ctx context.Context, method, path string, in, out any, retryable bool) error {
-	body, err := marshalBody(in)
-	if err != nil {
-		return err
-	}
-	v, err := c.runOp(ctx, path, retryable, func(ctx context.Context) (any, error) {
-		return c.attempt(ctx, method, path, body)
+// call performs one control-plane API call (both transports answer
+// with the same JSON document) with the client's retry budget when
+// retryable.
+func (c *Client) call(ctx context.Context, key, method string, t wire.MsgType, path string, body []byte, out any, retryable bool) error {
+	v, err := c.runOp(ctx, key, path, retryable, func(ctx context.Context, n *node) (any, error) {
+		if n.wire != nil {
+			data, err := n.wire.Call(ctx, t, body)
+			return data, wireErr(err)
+		}
+		return n.attempt(ctx, method, path, body)
 	})
 	if err != nil {
 		return err
@@ -560,23 +970,34 @@ func retryDelay(err error, backoff time.Duration) time.Duration {
 }
 
 // runOpHedged performs a prediction op: hedged when configured, plain
-// retries otherwise.
-func (c *Client) runOpHedged(ctx context.Context, endpoint string, op opFunc) (any, error) {
+// retries otherwise. The hedged duplicate goes to the next node in the
+// key's route when the cluster has one — cross-replica tail insurance
+// — and an open breaker on the primary launches the alternate
+// immediately instead of waiting out the hedge delay.
+func (c *Client) runOpHedged(ctx context.Context, key, endpoint string, op opFunc) (any, error) {
 	if c.opts.Hedge <= 0 {
-		return c.runOp(ctx, endpoint, true, op)
+		return c.runOp(ctx, key, endpoint, true, op)
 	}
+	order := c.route(key)
+	primary := c.nodes[(*order)[0]]
+	alternate := primary
+	if len(*order) > 1 {
+		alternate = c.nodes[(*order)[1]]
+	}
+	c.putRoute(order)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reels the losing racer in
 	type result struct {
+		n   *node
 		v   any
 		err error
 	}
 	results := make(chan result, 2)
-	attempt := func() {
-		v, err := c.opOnce(ctx, endpoint, op)
-		results <- result{v, err}
+	attempt := func(n *node) {
+		v, err := c.opOnce(ctx, n, endpoint, op)
+		results <- result{n, v, err}
 	}
-	go attempt()
+	go attempt(primary)
 	launched := 1
 	hedge := time.NewTimer(c.opts.Hedge)
 	defer hedge.Stop()
@@ -586,49 +1007,42 @@ func (c *Client) runOpHedged(ctx context.Context, endpoint string, op opFunc) (a
 		case <-hedge.C:
 			if launched == 1 {
 				launched = 2
-				go attempt()
+				go attempt(alternate)
 			}
 		case r := <-results:
 			if r.err == nil {
+				r.n.served.Add(1)
+				if r.n != primary {
+					r.n.failovers.Add(1)
+				}
 				return r.v, nil
 			}
 			done++
-			if firstErr == nil {
+			if firstErr == nil || errors.Is(firstErr, ErrCircuitOpen) {
 				firstErr = r.err
 			}
 			// A failure before the hedge delay launches the hedge
-			// immediately (when the failure is worth re-attempting):
-			// the hedge doubles as the retry, so enabling hedging
-			// never makes a call less resilient than Retries >= 1.
-			if launched == 1 && isRetryable(r.err) && ctx.Err() == nil {
+			// immediately (when the failure is worth re-attempting, or
+			// was a free short-circuit): the hedge doubles as the retry,
+			// so enabling hedging never makes a call less resilient than
+			// Retries >= 1 — and never strands a call on a node whose
+			// breaker is open when another node could answer.
+			if launched == 1 && ctx.Err() == nil &&
+				(isRetryable(r.err) || (errors.Is(r.err, ErrCircuitOpen) && alternate != primary)) {
 				launched = 2
-				go attempt()
+				go attempt(alternate)
 			}
 		}
 	}
 	return nil, firstErr
 }
 
-// callHedged performs an HTTP prediction call through runOpHedged.
-func (c *Client) callHedged(ctx context.Context, method, path string, in, out any) error {
-	body, err := marshalBody(in)
-	if err != nil {
-		return err
-	}
-	v, err := c.runOpHedged(ctx, path, func(ctx context.Context) (any, error) {
-		return c.attempt(ctx, method, path, body)
-	})
-	if err != nil {
-		return err
-	}
-	return unmarshalBody(v.([]byte), out)
-}
-
-// opOnce performs a single attempt, applying the per-attempt timeout
-// and the endpoint's circuit breaker. While the breaker is open the
-// attempt fails with ErrCircuitOpen before any network I/O.
-func (c *Client) opOnce(ctx context.Context, endpoint string, op opFunc) (any, error) {
-	br := c.breakerFor(endpoint)
+// opOnce performs a single attempt against one node, applying the
+// per-attempt timeout and the node's endpoint circuit breaker. While
+// the breaker is open the attempt fails with ErrCircuitOpen before any
+// network I/O.
+func (c *Client) opOnce(ctx context.Context, n *node, endpoint string, op opFunc) (any, error) {
+	br := c.breakerFor(n, endpoint)
 	if br != nil {
 		if err := br.allow(c.now(), c.opts.BreakerCooldown); err != nil {
 			return nil, err
@@ -640,19 +1054,25 @@ func (c *Client) opOnce(ctx context.Context, endpoint string, op opFunc) (any, e
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
 		defer cancel()
 	}
-	v, err := op(ctx)
-	if br != nil {
-		if err != nil && outer.Err() != nil {
-			// The caller's own cancellation or deadline is not evidence
-			// about server health; leave the breaker's window alone (a
-			// half-open probe is released as a success so the next real
-			// attempt can probe again).
-			br.record(false, c.now(), c.opts.BreakerThreshold)
-		} else {
-			br.record(err != nil && isBreakerFailure(err), c.now(), c.opts.BreakerThreshold)
-		}
-	}
+	v, err := op(ctx, n)
+	c.recordBreaker(br, outer, err)
 	return v, err
+}
+
+// recordBreaker feeds one attempt outcome into br (when breakers are
+// on). Expiry of the caller's own context is not evidence about server
+// health; the attempt records as a success so the breaker's window is
+// left alone (and a half-open probe is released for the next real
+// attempt).
+func (c *Client) recordBreaker(br *breaker, outer context.Context, err error) {
+	if br == nil {
+		return
+	}
+	if err != nil && outer.Err() != nil {
+		br.record(false, c.now(), c.opts.BreakerThreshold)
+		return
+	}
+	br.record(err != nil && isBreakerFailure(err), c.now(), c.opts.BreakerThreshold)
 }
 
 // isBreakerFailure classifies an attempt error for the breaker: server
@@ -666,9 +1086,10 @@ func isBreakerFailure(err error) bool {
 	return true
 }
 
-// breakerFor returns path's circuit breaker, creating it on first use.
-// nil when breakers are disabled and for the exempt readiness probe.
-func (c *Client) breakerFor(path string) *breaker {
+// breakerFor returns n's circuit breaker for path, creating it on
+// first use. nil when breakers are disabled and for the exempt
+// readiness probe.
+func (c *Client) breakerFor(n *node, path string) *breaker {
 	if c.opts.BreakerThreshold < 0 {
 		return nil
 	}
@@ -679,52 +1100,59 @@ func (c *Client) breakerFor(path string) *breaker {
 	if endpoint == "/v1/healthz" {
 		return nil
 	}
-	c.bmu.Lock()
-	defer c.bmu.Unlock()
-	br, ok := c.breakers[endpoint]
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	br, ok := n.breakers[endpoint]
 	if !ok {
 		br = newBreaker(c.opts.BreakerWindow)
-		c.breakers[endpoint] = br
+		n.breakers[endpoint] = br
 	}
 	return br
 }
 
 // Breakers snapshots every endpoint circuit breaker this client has
-// touched, sorted by endpoint.
+// touched, sorted by endpoint. In cluster mode each endpoint is
+// prefixed with its node's address (breakers are per node).
 func (c *Client) Breakers() []BreakerStats {
-	c.bmu.Lock()
-	endpoints := make([]string, 0, len(c.breakers))
-	for ep := range c.breakers {
-		endpoints = append(endpoints, ep)
-	}
-	brs := make([]*breaker, 0, len(endpoints))
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		brs = append(brs, c.breakers[ep])
-	}
-	c.bmu.Unlock()
-	out := make([]BreakerStats, len(endpoints))
-	for i, ep := range endpoints {
-		out[i] = brs[i].snapshot(ep)
+	var out []BreakerStats
+	for _, n := range c.nodes {
+		n.bmu.Lock()
+		endpoints := make([]string, 0, len(n.breakers))
+		for ep := range n.breakers {
+			endpoints = append(endpoints, ep)
+		}
+		sort.Strings(endpoints)
+		brs := make([]*breaker, 0, len(endpoints))
+		for _, ep := range endpoints {
+			brs = append(brs, n.breakers[ep])
+		}
+		n.bmu.Unlock()
+		for i, ep := range endpoints {
+			if len(c.nodes) > 1 {
+				ep = n.addr + ep
+			}
+			out = append(out, brs[i].snapshot(ep))
+		}
 	}
 	return out
 }
 
-// attempt is one raw HTTP round trip (the per-attempt timeout is
-// applied by opOnce, shared with the wire transport).
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+// attempt is one raw HTTP round trip against this node (the
+// per-attempt timeout is applied by opOnce, shared with the wire
+// transport).
+func (n *node) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, n.base+path, rd)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.http.Do(req)
+	resp, err := n.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
@@ -754,7 +1182,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 // isRetryable classifies an attempt error: retryable API statuses and
 // transport-level failures (connection refused/reset, a per-attempt
 // timeout), but never a short-circuit — retrying into an open breaker
-// is exactly the hammering it exists to stop. Expiry of the caller's
+// is exactly the hammering it exists to stop (failover handles open
+// breakers by moving to another node instead). Expiry of the caller's
 // own context stops the retry loop separately — their deadline is an
 // instruction, not a failure to paper over.
 func isRetryable(err error) bool {

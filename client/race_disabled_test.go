@@ -1,0 +1,5 @@
+//go:build !race
+
+package client
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled reports that the race detector is active; its shadow
+// instrumentation allocates, so allocation-count assertions are
+// skipped under -race.
+const raceEnabled = true

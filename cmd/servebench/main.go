@@ -13,6 +13,12 @@
 //   - Remote (-addr): drives an already-running serviced, training
 //     nothing. The named model must be deployed there. The URL scheme
 //     (http://, tcp://, unix://) picks the transport.
+//   - Cluster (-addrs): drives an already-running multi-node serviced
+//     cluster through the failover-aware client — comma-separated base
+//     URLs, mixed schemes allowed. The client routes by consistent
+//     hash, health-probes every node, and fails over on node loss; the
+//     report adds one line per node with its state, request share, and
+//     failover count.
 //
 // In-process mode, -transport picks the listener the load drives:
 // http (the JSON API), tcp (the framed wire protocol on a loopback
@@ -55,6 +61,7 @@
 //	servebench -model ccnn -hedge 1ms -retries 3
 //	servebench -model ccnn -fault-rate 0.2 -fault-seed 7 -retries 3
 //	servebench -addr tcp://prod-host:9090 -model ccnn -clients 64
+//	servebench -addrs http://node1:8080,http://node2:8080,tcp://node3:9090 -model ccnn
 package main
 
 import (
@@ -72,6 +79,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +97,7 @@ func main() {
 	model := flag.String("model", "ccnn", "model to serve (ccnn, wcnn, clstm, wlstm, ...)")
 	taskName := flag.String("task", "error", "task: error, session, cpu, answer, elapsed")
 	addr := flag.String("addr", "", "base URL of a running serviced (empty = spin up an in-process server; scheme picks the transport)")
+	addrs := flag.String("addrs", "", "comma-separated base URLs of a running serviced cluster (multi-node load mode; mixed schemes allowed)")
 	transport := flag.String("transport", "http", "in-process listener the load drives: http, tcp (wire protocol), or unix (wire protocol)")
 	ab := flag.Bool("ab", false, "drive the same in-process load over http, tcp, and unix back to back and print an A/B table")
 	jsonOut := flag.String("json", "", "write the -ab results as JSON to this file")
@@ -120,8 +129,23 @@ func main() {
 	default:
 		log.Fatalf("servebench: unknown -transport %q (want http, tcp, or unix)", *transport)
 	}
-	if *addr != "" && (*ab || *transport != "http") {
-		log.Fatal("servebench: -ab and -transport apply to the in-process server; with -addr the URL scheme picks the transport")
+	var clusterAddrs []string
+	if *addrs != "" {
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clusterAddrs = append(clusterAddrs, a)
+			}
+		}
+		if len(clusterAddrs) == 0 {
+			log.Fatal("servebench: -addrs must name at least one base URL")
+		}
+		if *addr != "" {
+			log.Fatal("servebench: -addr and -addrs are mutually exclusive")
+		}
+	}
+	remote := *addr != "" || len(clusterAddrs) > 0
+	if remote && (*ab || *transport != "http") {
+		log.Fatal("servebench: -ab and -transport apply to the in-process server; with -addr/-addrs the URL scheme picks the transport")
 	}
 	if *jsonOut != "" && !*ab {
 		log.Fatal("servebench: -json records -ab results; pass -ab too")
@@ -137,8 +161,8 @@ func main() {
 	if *faultRate < 0 || *faultRate > 1 {
 		log.Fatalf("servebench: -fault-rate must be in [0,1], got %g", *faultRate)
 	}
-	if *faultRate > 0 && *addr != "" {
-		log.Fatal("servebench: -fault-rate injects faults into the in-process server; it cannot be used with -addr")
+	if *faultRate > 0 && remote {
+		log.Fatal("servebench: -fault-rate injects faults into the in-process server; it cannot be used with -addr/-addrs")
 	}
 	if *faultRate > 0 && (*ab || *transport != "http") {
 		log.Fatal("servebench: -fault-rate wraps the HTTP handler; it cannot fault the wire transport")
@@ -178,7 +202,7 @@ func main() {
 	baseURL := *addr
 	urls := map[string]string{}
 	var inj *faults.Injector
-	if baseURL == "" {
+	if !remote {
 		// In-process target: train, deploy, serve on loopback listeners.
 		fmt.Fprintf(os.Stderr, "training %s for %s on %d statements...\n", *model, task, len(env.SDSSSplit.Train))
 		m, err := env.Model(*model, task, experiments.HomoInstance)
@@ -253,7 +277,7 @@ func main() {
 		baseURL = urls[*transport]
 	}
 
-	copts := client.Options{Timeout: *reqDeadline, Retries: *retries, Hedge: *hedge}
+	copts := client.Options{Timeout: *reqDeadline, Retries: *retries, Hedge: *hedge, Addrs: clusterAddrs}
 
 	// SIGINT ends the load early; the final stats still print.
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -271,8 +295,12 @@ func main() {
 	}
 	defer c.Close()
 
+	target := baseURL
+	if len(clusterAddrs) > 0 {
+		target = fmt.Sprintf("%d-node cluster %s", len(clusterAddrs), strings.Join(clusterAddrs, ","))
+	}
 	fmt.Fprintf(os.Stderr, "driving %s via %s with %d clients for %s...\n",
-		*model, baseURL, *clients, *duration)
+		*model, target, *clients, *duration)
 	res := drive(sigCtx, c, *model, stmts, *clients, *duration, 0)
 
 	fmt.Printf("client: served=%d throughput=%.0f/s p50=%s p99=%s expired=%d rejected=%d short_circuited=%d failed=%d\n",
@@ -286,6 +314,20 @@ func main() {
 	for _, b := range c.Breakers() {
 		fmt.Printf("breaker: %s state=%s failures=%d opened=%d short_circuited=%d\n",
 			b.Endpoint, b.State, b.Failures, b.Opened, b.ShortCircuited)
+	}
+	if len(clusterAddrs) > 0 {
+		// Per-node attribution: which node carried what share of the
+		// load, and how much of it arrived by failover rather than by
+		// ring preference.
+		nodes := c.Nodes()
+		var total uint64
+		for _, ns := range nodes {
+			total += ns.Served
+		}
+		for _, ns := range nodes {
+			fmt.Printf("node %s: state=%s served=%d share=%.1f%% failovers=%d\n",
+				ns.Addr, ns.State, ns.Served, 100*float64(ns.Served)/float64(max(total, 1)), ns.Failovers)
+		}
 	}
 	reportServerWith(c, *model)
 }

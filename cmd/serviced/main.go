@@ -20,6 +20,14 @@
 // retraining. Models named in -models that are not restored from the
 // store are trained on a synthetic workload and deployed.
 //
+// With -store-refresh set (requires -store-dir), serviced also polls
+// the store at that interval and picks up models and deploys written
+// by OTHER serviced processes sharing the same directory — the
+// shared-store cluster mode: deploy on one node and every node serves
+// it within one interval, no control plane required. Deploy markers
+// carry generation counters; a node's own explicit deploys win ties
+// against anything it merely observed in the store.
+//
 // The listener starts before the warm boot, so /v1/healthz implements
 // the readiness contract: 503 while the store is being replayed, 200
 // once the registry is restored. Models that still need training are
@@ -83,21 +91,22 @@ func main() {
 
 // config is the parsed flag set of one serviced invocation.
 type config struct {
-	addr      string
-	wireAddr  string
-	wireUnix  string
-	models    []string
-	task      core.Task
-	replicas  int
-	queue     int
-	maxBatch  int
-	window    time.Duration
-	admission serve.AdmissionPolicy
-	sessions  int
-	drain     time.Duration
-	pprofAddr string
-	storeDir  string
-	retain    int
+	addr         string
+	wireAddr     string
+	wireUnix     string
+	models       []string
+	task         core.Task
+	replicas     int
+	queue        int
+	maxBatch     int
+	window       time.Duration
+	admission    serve.AdmissionPolicy
+	sessions     int
+	drain        time.Duration
+	pprofAddr    string
+	storeDir     string
+	retain       int
+	storeRefresh time.Duration
 }
 
 // parseFlags validates the command line into a config.
@@ -118,6 +127,8 @@ func parseFlags(args []string) (config, error) {
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	storeDir := fs.String("store-dir", "", "directory for durable model artifacts (empty = memory-only registry)")
 	retain := fs.Int("retain", 0, "model versions kept per model beyond the live one (0 = keep all)")
+	storeRefresh := fs.Duration("store-refresh", 0,
+		"poll the store for models and deploys written by other nodes at this interval (0 = disabled; requires -store-dir)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -125,7 +136,13 @@ func parseFlags(args []string) (config, error) {
 		addr: *addr, wireAddr: *wireAddr, wireUnix: *wireUnix,
 		replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
 		window: *window, sessions: *sessions, drain: *drain, pprofAddr: *pprofAddr,
-		storeDir: *storeDir, retain: *retain,
+		storeDir: *storeDir, retain: *retain, storeRefresh: *storeRefresh,
+	}
+	if cfg.storeRefresh < 0 {
+		return config{}, fmt.Errorf("serviced: -store-refresh must be >= 0, got %v", cfg.storeRefresh)
+	}
+	if cfg.storeRefresh > 0 && cfg.storeDir == "" {
+		return config{}, errors.New("serviced: -store-refresh requires -store-dir (there is no store to watch)")
 	}
 	if cfg.retain < 0 {
 		return config{}, fmt.Errorf("serviced: -retain must be >= 0, got %d", cfg.retain)
@@ -259,6 +276,11 @@ func run(args []string, out io.Writer) error {
 	bootc := make(chan error, 1)
 	go func() { bootc <- boot(cfg, svc, out) }()
 
+	// stopWatch halts the shared-store watcher; replaced with the real
+	// stop function once the boot succeeds and the watcher starts.
+	stopWatch := func() {}
+	defer func() { stopWatch() }()
+
 	select {
 	case err = <-errc: // listener died (e.g. port in use) before boot finished
 		svc.Close()
@@ -274,6 +296,15 @@ func run(args []string, out io.Writer) error {
 			drainErrc()
 			return err
 		}
+		if cfg.storeRefresh > 0 {
+			// Convergence loop for multi-node deployments sharing one
+			// store directory: models and deploys written by other
+			// nodes appear here within one interval. Started only
+			// after a successful boot so it never races WarmBoot's
+			// empty-registry requirement.
+			fmt.Fprintf(out, "watching store every %v\n", cfg.storeRefresh)
+			stopWatch = svc.WatchStore(cfg.storeRefresh, log.Printf)
+		}
 		select {
 		case err = <-errc: // listener died after boot
 			svc.Close()
@@ -284,6 +315,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintln(out, "shutting down...")
+	stopWatch() // no sync may land mid-drain
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

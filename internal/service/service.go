@@ -186,6 +186,13 @@ type entry struct {
 	mu       sync.Mutex // serializes Register version-append and Deploy
 	versions []*core.Model
 	live     atomic.Pointer[livePool]
+	// gen is the generation of the entry's current deployment — the
+	// cluster tie-breaker. A local Deploy persists gen+1 in its live
+	// marker; SyncStore applies a marker observed in a shared store only
+	// when its generation exceeds this one, so a node's own explicit
+	// deploys win ties against anything it merely observed. Guarded by
+	// mu.
+	gen int64
 }
 
 // latest returns the highest available (non-hole) version, 0 if none.
@@ -351,9 +358,12 @@ func (s *Service) Deploy(name string, version int, opts ...DeployOptions) (Model
 	}
 	// Persist intent first: if the marker cannot be written the old
 	// pool keeps serving and the store never claims a deployment that
-	// did not happen.
+	// did not happen. The marker carries the next generation: in a
+	// shared store this is what lets other nodes' SyncStore adopt the
+	// deploy, and what makes this node's own deploys win generation
+	// ties against markers it merely observed.
 	if s.opts.Store != nil {
-		rec, err := json.Marshal(liveRecord{Version: version, DeployOptions: dopts})
+		rec, err := json.Marshal(liveRecord{Version: version, Gen: e.gen + 1, DeployOptions: dopts})
 		if err != nil {
 			return ModelInfo{}, fmt.Errorf("service: deploy %q: %w", name, err)
 		}
@@ -361,6 +371,7 @@ func (s *Service) Deploy(name string, version int, opts ...DeployOptions) (Model
 			return ModelInfo{}, fmt.Errorf("service: deploy %q: persist live marker: %w", name, err)
 		}
 	}
+	e.gen++
 	next := &livePool{
 		version: version,
 		opts:    dopts,
@@ -709,9 +720,11 @@ func parseKey(key string) (name string, version int, isArtifact, ok bool) {
 }
 
 // liveRecord is the persisted live-deployment marker: which version
-// serves, under which per-deployment options.
+// serves, under which per-deployment options, at which deployment
+// generation (the shared-store tie-breaker; see entry.gen).
 type liveRecord struct {
-	Version int `json:"version"`
+	Version int   `json:"version"`
+	Gen     int64 `json:"gen,omitempty"`
 	DeployOptions
 }
 
@@ -764,13 +777,24 @@ func (s *Service) BootReport() *BootReport {
 func (s *Service) quarantine(rep *BootReport, key string, data []byte, why error) {
 	rep.Quarantined++
 	rep.detailf("quarantined %q: %v", key, why)
-	if err := s.opts.Store.Put(quarantinePrefix+key, data); err != nil {
-		rep.detailf("quarantine move of %q failed, blob left in place: %v", key, err)
-		return
+	for _, incident := range quarantineBlob(s.opts.Store, key, data) {
+		rep.detailf("%s", incident)
 	}
-	if err := s.opts.Store.Delete(key); err != nil {
-		rep.detailf("quarantine delete of original %q failed: %v", key, err)
+}
+
+// quarantineBlob parks one damaged blob under the quarantine prefix,
+// returning incident lines for anything that went wrong doing so (the
+// blob then stays put and the next boot or sync retries). Shared by
+// WarmBoot and SyncStore so mid-sync damage gets exactly the boot
+// path's semantics.
+func quarantineBlob(store Store, key string, data []byte) []string {
+	if err := store.Put(quarantinePrefix+key, data); err != nil {
+		return []string{fmt.Sprintf("quarantine move of %q failed, blob left in place: %v", key, err)}
 	}
+	if err := store.Delete(key); err != nil {
+		return []string{fmt.Sprintf("quarantine delete of original %q failed: %v", key, err)}
+	}
+	return nil
 }
 
 // WarmBoot replays the configured store into an empty registry: every
@@ -938,6 +962,18 @@ func (s *Service) WarmBoot() (*BootReport, error) {
 		} else if !intact {
 			rep.detailf("live version v%d of %q is not intact; falling back to v%d", target, name, fallback)
 			target, dopts = fallback, DeployOptions{}
+		} else {
+			// Restoring an intact marker must not mint a new
+			// generation: a rebooting node re-adopts the cluster's
+			// current deployment rather than claiming a newer one. The
+			// Deploy below bumps gen by one, so seed it one below the
+			// marker's and the rewrite is generation-idempotent.
+			// Fallback deploys (the branches above) are genuinely new
+			// local decisions and keep the fresh generation Deploy
+			// assigns.
+			e.mu.Lock()
+			e.gen = rec.Gen - 1
+			e.mu.Unlock()
 		}
 		info, err := s.Deploy(name, target, dopts)
 		if err != nil {

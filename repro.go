@@ -258,21 +258,30 @@ func NewDirStore(dir string) (*service.DirStore, error) { return service.NewDirS
 
 // Client is the typed Go client for the /v1 API: per-request
 // deadlines, bounded retries with backoff on 429/5xx, optional hedged
-// requests, and connection reuse. See package repro/client.
+// requests, and connection reuse. With ClientOptions.Addrs listing
+// several nodes it is cluster-aware: consistent-hash routing by model
+// name, health-probed failover, and cross-node hedging. See package
+// repro/client.
 type Client = client.Client
 
 // ClientOptions configures NewClient (timeout, retry budget, backoff,
-// hedge delay).
+// hedge delay, cluster node set).
 type ClientOptions = client.Options
 
 // ModelStats is one model's service metrics as fetched by
 // Client.Stats.
 type ModelStats = client.ModelStats
 
+// NodeStats is one cluster node's client-side view (health state and
+// traffic counters), as returned by Client.Nodes.
+type NodeStats = client.NodeStats
+
 // NewClient creates a typed /v1 API client for the service at baseURL.
 // The scheme picks the transport: "http://host:port" (JSON API) or
 // "tcp://host:port" / "unix:///path.sock" (the binary wire protocol,
 // package repro/internal/wire) — same methods, same typed errors.
+// Additional cluster nodes go in opts.Addrs (mixed schemes allowed);
+// baseURL may be empty when Addrs is set.
 func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 	return client.New(baseURL, opts)
 }
