@@ -752,6 +752,33 @@ func (c *Client) Deploy(ctx context.Context, model string, version int, opts ...
 	return info, nil
 }
 
+// ingestRequest mirrors the /v1/ingest body.
+type ingestRequest struct {
+	Model     string  `json:"model"`
+	Statement string  `json:"statement"`
+	Class     int     `json:"class,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+}
+
+type ingestResponse struct {
+	OK bool `json:"ok"`
+}
+
+// Feedback logs the observed ground-truth outcome for a served
+// statement (class for classification tasks, value in raw units for
+// regression tasks) to the serving node's ingest log, where the online
+// pipeline's trainers pick it up. Routed by model key so one model's
+// feedback lands on one node's log. Not retried — like Deploy, it
+// changes state (a retry could double-count the observation).
+func (c *Client) Feedback(ctx context.Context, model, statement string, class int, value float64) error {
+	body, err := marshalBody(ingestRequest{Model: model, Statement: statement, Class: class, Value: value})
+	if err != nil {
+		return err
+	}
+	var resp ingestResponse
+	return c.call(ctx, model, http.MethodPost, wire.MsgIngest, "/v1/ingest", body, &resp, false)
+}
+
 // Stats fetches model's live-deployment service metrics (throughput,
 // latency percentiles, per-model rejection counts) from the model's
 // ring-preferred node. Stats are per node, not cluster-aggregated.

@@ -46,6 +46,15 @@
 // and the final per-endpoint breaker states — the knob for watching
 // retry + breaker behavior under a controlled failure rate.
 //
+// With -ingest-replay DIR the load clients replay the statements
+// recorded in that ingest WAL (in recorded order) instead of the
+// synthetic test split — so a production traffic capture can be
+// re-driven against any target. The report then ends with one line per
+// recorded model showing the target's online-adaptation counters:
+// windows consumed, candidates built, swaps, rollbacks, rejections,
+// and the last gate decision. Against a serviced running -online this
+// shows the pipeline reacting to the replayed traffic live.
+//
 // The report ends with the server's batch-width histogram: one line
 // per observed fused-batch width with its request count and latency
 // percentiles, so a batching A/B (-batch-window / -max-batch vs
@@ -61,6 +70,7 @@
 //	servebench -model ccnn -hedge 1ms -retries 3
 //	servebench -model ccnn -fault-rate 0.2 -fault-seed 7 -retries 3
 //	servebench -addr tcp://prod-host:9090 -model ccnn -clients 64
+//	servebench -addr http://prod-host:8080 -model ccnn -ingest-replay /var/lib/serviced/wal
 //	servebench -addrs http://node1:8080,http://node2:8080,tcp://node3:9090 -model ccnn
 package main
 
@@ -70,6 +80,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -88,6 +99,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/service"
 	"repro/internal/wire"
@@ -116,6 +128,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "probability each in-process request is failed with an injected 503 (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "PRNG seed for the fault injector (same seed = same fault schedule)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
+	ingestReplay := flag.String("ingest-replay", "",
+		"replay the statements recorded in this ingest WAL directory instead of the synthetic workload, and report per-model online-adaptation events after the run")
 	flag.Parse()
 
 	if *clients <= 0 {
@@ -190,13 +204,31 @@ func main() {
 		}()
 	}
 
-	// Statements replayed by the load clients.
-	scale := experiments.SmallScale()
-	scale.SDSSSessions = *sessions
-	env := experiments.NewEnv(scale)
-	stmts := make([]string, len(env.SDSSSplit.Test))
-	for i, item := range env.SDSSSplit.Test {
-		stmts[i] = item.Statement
+	// Statements replayed by the load clients: a recorded ingest WAL
+	// when -ingest-replay is set, the synthetic test split otherwise.
+	// In-process mode always needs the synthetic environment — it is
+	// the training data for the served model.
+	var env *experiments.Env
+	if !remote || *ingestReplay == "" {
+		scale := experiments.SmallScale()
+		scale.SDSSSessions = *sessions
+		env = experiments.NewEnv(scale)
+	}
+	var stmts []string
+	var walModels []string
+	if *ingestReplay != "" {
+		var err error
+		stmts, walModels, err = loadWALStatements(*ingestReplay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replaying %d recorded statements (%d models) from %s\n",
+			len(stmts), len(walModels), *ingestReplay)
+	} else {
+		stmts = make([]string, len(env.SDSSSplit.Test))
+		for i, item := range env.SDSSSplit.Test {
+			stmts[i] = item.Statement
+		}
 	}
 
 	baseURL := *addr
@@ -330,6 +362,65 @@ func main() {
 		}
 	}
 	reportServerWith(c, *model)
+	if len(walModels) > 0 {
+		reportAdaptation(c, walModels)
+	}
+}
+
+// loadWALStatements reads every record of the ingest WAL at dir and
+// returns the statements in recorded order plus the distinct model
+// names seen, in first-appearance order.
+func loadWALStatements(dir string) (stmts, models []string, err error) {
+	r := ingest.OpenReader(dir, ingest.Pos{})
+	defer r.Close()
+	seen := map[string]bool{}
+	var rec ingest.Record
+	for {
+		err := r.Next(&rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("servebench: read ingest WAL %s: %w", dir, err)
+		}
+		stmts = append(stmts, rec.Statement)
+		if !seen[rec.Model] {
+			seen[rec.Model] = true
+			models = append(models, rec.Model)
+		}
+	}
+	if segs, bytes := r.Skipped(); segs > 0 {
+		fmt.Fprintf(os.Stderr, "servebench: skipped %d damaged WAL segments (%d bytes) in %s\n", segs, bytes, dir)
+	}
+	if len(stmts) == 0 {
+		return nil, nil, fmt.Errorf("servebench: no records in ingest WAL %s", dir)
+	}
+	return stmts, models, nil
+}
+
+// reportAdaptation prints each replayed model's online-learning
+// counters, so a WAL replay shows not just throughput but how the
+// target's fine-tune pipeline reacted to the traffic.
+func reportAdaptation(c *client.Client, models []string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, m := range models {
+		st, err := c.Stats(ctx, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: fetch %s stats: %v\n", m, err)
+			continue
+		}
+		o := st.Online
+		if o == nil {
+			fmt.Printf("online %s: target has no online pipeline\n", m)
+			continue
+		}
+		fmt.Printf("online %s: consumed=%d windows=%d candidates=%d swaps=%d rollbacks=%d rejected=%d\n",
+			m, o.Consumed, o.Windows, o.Candidates, o.Swaps, o.Rollbacks, o.Rejected)
+		if o.LastDecision != "" {
+			fmt.Printf("online %s: last decision: %s\n", m, o.LastDecision)
+		}
+	}
 }
 
 // driveResult is one load leg's client-observed outcome.
@@ -356,8 +447,16 @@ func drive(parent context.Context, c *client.Client, model string, stmts []strin
 		c.Predict(parent, model, stmts[i%len(stmts)])
 	}
 
-	ctx, cancel := context.WithTimeout(parent, duration)
+	// Bound the run with a cancel, not a deadline: a deadline here would
+	// ride along as every frame's deadline_ms (the wire client forwards
+	// ctx deadlines to the server, which arms a timer context per
+	// request), polluting allocs/op and — as the run winds down — the
+	// expiry and breaker counters. Per-request deadlines come only from
+	// -deadline via the client's own timeout.
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
+	stopTimer := time.AfterFunc(duration, cancel)
+	defer stopTimer.Stop()
 
 	var served, expired, rejected, shorted, failed atomic.Uint64
 	lats := make([][]time.Duration, clients)

@@ -8,6 +8,7 @@
 //	GET  /v1/stats?model=NAME
 //	GET  /v1/healthz
 //	POST /v1/admin/gc
+//	POST /v1/ingest   {"model","statement",["class"],["value"]}
 //
 // With -retain N set, each model keeps only its newest N versions plus
 // the live one; older versions are pruned from memory and the store on
@@ -41,6 +42,16 @@
 // transports share one registry, one admission quota, and one error
 // model; repro/client selects the wire transport with a tcp:// or
 // unix:// base URL.
+//
+// With -ingest-dir set, served statements and /v1/ingest feedback are
+// appended to a durable, checksummed write-ahead log (-ingest-sample N
+// additionally samples every Nth successful predict). With -online set
+// on top, a background pipeline per model tails that WAL, fine-tunes
+// the live model on observed outcomes, and swaps the result in only
+// when it beats the live version on held-out recent traffic by at
+// least -canary-margin — with automatic rollback if the swap regresses
+// on the next window. Decisions persist in the store, so a cluster
+// sharing -store-dir converges on the adapted model.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listeners stop
 // accepting, in-flight HTTP and wire requests finish (bounded by
@@ -78,6 +89,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ingest"
+	"repro/internal/online"
 	"repro/internal/serve"
 	"repro/internal/service"
 	"repro/internal/wire"
@@ -107,6 +120,11 @@ type config struct {
 	storeDir     string
 	retain       int
 	storeRefresh time.Duration
+	ingestDir    string
+	ingestEvery  int
+	online       bool
+	onlineWindow int
+	canaryMargin float64
 }
 
 // parseFlags validates the command line into a config.
@@ -129,6 +147,15 @@ func parseFlags(args []string) (config, error) {
 	retain := fs.Int("retain", 0, "model versions kept per model beyond the live one (0 = keep all)")
 	storeRefresh := fs.Duration("store-refresh", 0,
 		"poll the store for models and deploys written by other nodes at this interval (0 = disabled; requires -store-dir)")
+	ingestDir := fs.String("ingest-dir", "",
+		"directory for the durable ingest WAL of served statements and feedback (empty = ingest disabled)")
+	ingestEvery := fs.Int("ingest-sample", 0,
+		"sample every Nth successful predict into the ingest WAL (0 = log explicit /v1/ingest feedback only; requires -ingest-dir)")
+	onlineFlag := fs.Bool("online", false,
+		"run the online fine-tune pipeline: tail the ingest WAL, fine-tune on observed outcomes, canary-gate swaps (requires -ingest-dir)")
+	onlineWindow := fs.Int("online-window", 64, "observed records per online fine-tune window")
+	canaryMargin := fs.Float64("canary-margin", 0,
+		"score improvement the canary requires before swapping a fine-tuned candidate in")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -137,6 +164,8 @@ func parseFlags(args []string) (config, error) {
 		replicas: *replicas, queue: *queue, maxBatch: *maxBatch,
 		window: *window, sessions: *sessions, drain: *drain, pprofAddr: *pprofAddr,
 		storeDir: *storeDir, retain: *retain, storeRefresh: *storeRefresh,
+		ingestDir: *ingestDir, ingestEvery: *ingestEvery, online: *onlineFlag,
+		onlineWindow: *onlineWindow, canaryMargin: *canaryMargin,
 	}
 	if cfg.storeRefresh < 0 {
 		return config{}, fmt.Errorf("serviced: -store-refresh must be >= 0, got %v", cfg.storeRefresh)
@@ -146,6 +175,18 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.retain < 0 {
 		return config{}, fmt.Errorf("serviced: -retain must be >= 0, got %d", cfg.retain)
+	}
+	if cfg.ingestEvery < 0 {
+		return config{}, fmt.Errorf("serviced: -ingest-sample must be >= 0, got %d", cfg.ingestEvery)
+	}
+	if cfg.ingestEvery > 0 && cfg.ingestDir == "" {
+		return config{}, errors.New("serviced: -ingest-sample requires -ingest-dir (there is no log to sample into)")
+	}
+	if cfg.online && cfg.ingestDir == "" {
+		return config{}, errors.New("serviced: -online requires -ingest-dir (the pipeline trains from the ingest WAL)")
+	}
+	if cfg.onlineWindow <= 1 {
+		return config{}, fmt.Errorf("serviced: -online-window must be > 1, got %d", cfg.onlineWindow)
 	}
 	if cfg.replicas <= 0 {
 		return config{}, fmt.Errorf("serviced: -replicas must be positive, got %d", cfg.replicas)
@@ -207,6 +248,18 @@ func run(args []string, out io.Writer) error {
 		}
 		opts.Store = store
 		fmt.Fprintf(out, "durable registry at %s\n", cfg.storeDir)
+	}
+	if cfg.ingestDir != "" {
+		wal, err := ingest.Open(cfg.ingestDir, ingest.Options{})
+		if err != nil {
+			return err
+		}
+		// Registered before the service's deferred Close so the WAL
+		// outlives the last Observe (LIFO).
+		defer wal.Close()
+		opts.Ingest = wal
+		opts.IngestEvery = cfg.ingestEvery
+		fmt.Fprintf(out, "ingest WAL at %s (sample every %d)\n", cfg.ingestDir, cfg.ingestEvery)
 	}
 	svc := service.New(opts)
 	defer svc.Close()
@@ -280,6 +333,9 @@ func run(args []string, out io.Writer) error {
 	// stop function once the boot succeeds and the watcher starts.
 	stopWatch := func() {}
 	defer func() { stopWatch() }()
+	// stopOnline halts the online fine-tune pipeline, same pattern.
+	stopOnline := func() {}
+	defer func() { stopOnline() }()
 
 	select {
 	case err = <-errc: // listener died (e.g. port in use) before boot finished
@@ -295,6 +351,25 @@ func run(args []string, out io.Writer) error {
 			}
 			drainErrc()
 			return err
+		}
+		if cfg.online {
+			// The pipeline starts only after a successful boot: it
+			// fine-tunes whatever is live, so there must be something
+			// live first.
+			pl, err := online.Start(online.Options{
+				Service: svc, Store: opts.Store, Dir: cfg.ingestDir,
+				Models: cfg.models, Window: cfg.onlineWindow,
+				Margin: cfg.canaryMargin, Config: core.DefaultConfig(),
+				Logf: log.Printf,
+			})
+			if err != nil {
+				svc.Close()
+				srv.Close()
+				return err
+			}
+			fmt.Fprintf(out, "online pipeline: window %d, canary margin %g\n",
+				cfg.onlineWindow, cfg.canaryMargin)
+			stopOnline = pl.Close
 		}
 		if cfg.storeRefresh > 0 {
 			// Convergence loop for multi-node deployments sharing one
@@ -315,7 +390,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintln(out, "shutting down...")
-	stopWatch() // no sync may land mid-drain
+	stopWatch()  // no sync may land mid-drain
+	stopOnline() // no swap may land mid-drain
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -377,3 +377,89 @@ func TestWireGracefulDrain(t *testing.T) {
 		t.Fatal("predict after shutdown succeeded; listener still alive")
 	}
 }
+
+// TestOnlineLoopSwapsOnDrift is the end-to-end adaptation smoke: a
+// real serviced with the ingest WAL and online pipeline enabled
+// observes a drifted workload (feedback arriving over both transports
+// says every probe statement now fails with class 2), fine-tunes on
+// it, and the canary swaps the adapted version in within the test
+// budget.
+func TestOnlineLoopSwapsOnDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model end to end")
+	}
+	addr := freeAddr(t)
+	wireAddr := freeAddr(t)
+	args := []string{
+		"-addr", addr, "-wire-addr", wireAddr, "-models", "ccnn", "-task", "error",
+		"-sessions", "200", "-replicas", "1",
+		"-store-dir", t.TempDir(), "-ingest-dir", t.TempDir(), "-ingest-sample", "4",
+		"-online", "-online-window", "8", "-canary-margin", "0",
+	}
+	c, err := client.New("http://"+addr, client.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cw, err := client.New("tcp://"+wireAddr, client.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+	ctx := context.Background()
+
+	out, done := startServiced(t, args)
+	waitLive(t, c, "ccnn")
+	if !strings.Contains(out.String(), "online pipeline") {
+		t.Fatalf("serviced did not announce the online pipeline; output:\n%s", out.String())
+	}
+
+	// Drift: ground-truth feedback keeps saying class 2, one window at
+	// a time (half over HTTP, half over the wire transport), until the
+	// pipeline has fine-tuned the serving model into the new regime.
+	sendWindow := func() {
+		for i := 0; i < 8; i++ {
+			stmt := probeStatements[i%len(probeStatements)]
+			fc := c
+			if i%2 == 0 {
+				fc = cw
+			}
+			if err := fc.Feedback(ctx, "ccnn", stmt, 2, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sendWindow()
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		models, err := c.Models(ctx)
+		if err == nil && len(models) == 1 && models[0].LiveVersion >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("online pipeline never swapped (models: %+v, err: %v); output:\n%s",
+				models, err, out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Adaptation end to end: successive windows pull the live model all
+	// the way over to the drifted truth.
+	for {
+		pr, err := cw.Predict(ctx, "ccnn", probeStatements[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Class == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("model never adapted to the drift (still predicts %d); output:\n%s",
+				pr.Class, out.String())
+		}
+		sendWindow()
+		time.Sleep(100 * time.Millisecond)
+	}
+	stopServiced(t, done)
+}

@@ -1,0 +1,176 @@
+// Online learning: the full adapt-in-production loop in one process.
+// A character CNN serves error-class predictions while ground-truth
+// feedback streams into a durable ingest WAL. The background pipeline
+// tails the WAL, fine-tunes a candidate off the hot path once a window
+// of feedback accumulates, canaries it against the live model on
+// held-out recent traffic, and hot-swaps it only if the canary shows
+// no regression — every decision persisted in the registry store.
+//
+// The demo runs two phases. Phase 1 is drift: the workload's label
+// distribution shifts (every query now resolves to one error class
+// the v1 model rarely predicts), so the candidate fine-tuned on the
+// drifted window beats v1 on the holdout, passes the gate, and is
+// swapped live automatically. Phase 2 is the gate holding: feedback
+// that matches the now-live model's own predictions produces a
+// candidate with nothing to improve, the canary rejects it, and the
+// live version stays put.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+const drifted = 2 // the error class every query drifts to in phase 1
+
+func main() {
+	// 1. Train v1 on the original workload.
+	fmt.Println("generating SDSS-like workload...")
+	w := repro.GenerateSDSS(1500, 11)
+	split := repro.SplitRandom(w.Items, 11)
+	cfg := repro.DefaultConfig()
+	cfg.Epochs = 2
+	fmt.Printf("training ccnn v1 on %d statements...\n", len(split.Train))
+	model, err := repro.Train("ccnn", repro.ErrorClassification, split.Train, cfg)
+	must(err)
+
+	// 2. Durable registry + durable feedback WAL. Both survive
+	// restarts; the online pipeline checkpoints its own progress in the
+	// same store, so a crash never re-deploys or loses a decision.
+	dir, err := os.MkdirTemp("", "online-example-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	store, err := repro.NewDirStore(dir + "/store")
+	must(err)
+	wal, err := repro.OpenIngest(dir+"/wal", repro.IngestOptions{})
+	must(err)
+	defer wal.Close()
+
+	svc := repro.NewService(repro.ServiceOptions{
+		Store:  store,
+		Ingest: wal, // Observe() feedback lands here (plus 1-in-IngestEvery served predictions)
+	})
+	defer svc.Close()
+	_, err = svc.WarmBoot()
+	must(err)
+	info, err := svc.Swap("errors", model)
+	must(err)
+	fmt.Printf("deployed %s v%d\n", info.Name, info.Version)
+
+	// 3. Start the online pipeline: fine-tune on windows of 8 observed
+	// records, hold out 25% for the canary, and swap only when the
+	// candidate beats the live model by ≥5 accuracy points on the
+	// holdout — ties are not worth a version bump.
+	tune := repro.DefaultConfig()
+	tune.Epochs = 8
+	pipeline, err := repro.StartOnline(repro.OnlineOptions{
+		Service:  svc,
+		Store:    store,
+		Dir:      dir + "/wal",
+		Models:   []string{"errors"},
+		Window:   8,
+		Margin:   0.05,
+		Interval: 5 * time.Millisecond,
+		Config:   tune,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  pipeline: "+format+"\n", args...)
+		},
+	})
+	must(err)
+	defer pipeline.Close()
+
+	ctx := context.Background()
+	probe := split.Test[0].Statement
+	before, err := svc.Predict(ctx, "errors", probe)
+	must(err)
+	fmt.Printf("\nv1 predicts class %d for the probe query\n", before.Class)
+
+	// 4. Phase 1 — drift. Ground truth shifts: every query now fails
+	// with class 2. Keep feeding feedback windows until a fine-tuned
+	// candidate clears the canary gate and the swap lands.
+	fmt.Printf("phase 1: feedback drifts to class %d...\n", drifted)
+	deadline := time.Now().Add(2 * time.Minute)
+	i := 0
+	for {
+		for n := 0; n < 8; n++ {
+			item := split.Test[i%len(split.Test)]
+			must(svc.Observe("errors", item.Statement, drifted, 0))
+			i++
+		}
+		if waitVersion(svc, 2, 5*time.Second) {
+			break
+		}
+		if time.Now().After(deadline) {
+			panic("online example: no swap within deadline")
+		}
+	}
+	after, err := svc.Predict(ctx, "errors", probe)
+	must(err)
+	fmt.Printf("swapped: v%d now live, probe query predicts class %d\n",
+		after.Version, after.Class)
+
+	// 5. Phase 2 — feedback that agrees with the live model. The
+	// candidate can't beat it on the holdout, so the gate rejects and
+	// the live version stays.
+	fmt.Println("\nphase 2: feedback matches the live model...")
+	liveVersion := after.Version
+	for n := 0; n < 8; n++ {
+		item := split.Test[(i+n)%len(split.Test)]
+		pred, err := svc.Predict(ctx, "errors", item.Statement)
+		must(err)
+		must(svc.Observe("errors", item.Statement, pred.Class, 0))
+	}
+	waitRejected(svc, 10*time.Second)
+
+	// 6. The decision trail: the service stats carry the pipeline's
+	// counters, so /v1/stats and the wire protocol expose the same view.
+	st, err := svc.StatsSnapshot("errors")
+	must(err)
+	o := st.Online
+	fmt.Printf("\nonline pipeline: windows=%d candidates=%d swaps=%d rejected=%d rollbacks=%d\n",
+		o.Windows, o.Candidates, o.Swaps, o.Rejected, o.Rollbacks)
+	fmt.Printf("last decision: %s\n", o.LastDecision)
+	final, err := svc.Predict(ctx, "errors", probe)
+	must(err)
+	if final.Version != liveVersion {
+		panic("online example: rejected candidate went live")
+	}
+	fmt.Printf("v%d still live — the gate held\n", final.Version)
+}
+
+// waitVersion polls until the model's live version reaches want.
+func waitVersion(svc *repro.Service, want int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if v, _, err := svc.LiveVersion("errors"); err == nil && v >= want {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// waitRejected polls until the pipeline records a rejected candidate.
+func waitRejected(svc *repro.Service, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st, err := svc.StatsSnapshot("errors"); err == nil &&
+			st.Online != nil && st.Online.Rejected > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	panic("online example: candidate not rejected within deadline")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

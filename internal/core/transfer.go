@@ -40,6 +40,13 @@ func FineTune(m *Model, train []workload.Item, cfg Config) (*Model, error) {
 	}
 	opt := nn.NewOptimizer(nn.AdaMax, lr, cfg.Clip)
 	params := m.neural.model.Params()
+	for _, p := range params {
+		// Registry snapshots drop their gradient shadows (inference
+		// never reads them); fine-tuning one starts by rebuilding them.
+		if len(p.G) != len(p.W) {
+			p.G = make([]float64, len(p.W))
+		}
+	}
 	model := m.neural.model
 	trainer := NewTrainer(cfg)
 	trainer.Seed = cfg.Seed + 1 // distinct dropout stream from pre-training

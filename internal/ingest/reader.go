@@ -1,0 +1,247 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Pos is a replay position: a segment sequence number and a byte
+// offset within it. The zero value means "the oldest record still
+// retained". Positions are JSON-serializable so consumers can persist
+// their progress.
+type Pos struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Reader replays records from a WAL directory, starting at any
+// position and crossing segment boundaries. Next returns io.EOF at the
+// live tail — the log may still grow, so a tailing consumer polls.
+//
+// Damage tolerance mirrors the writer's recovery split: on the live
+// (newest) segment any undecodable tail is treated as an append still
+// in flight and reported as io.EOF; on a sealed segment it is damage —
+// the remainder of the segment is skipped (counted in Skipped) and
+// reading continues at the next segment. A segment pruned by retention
+// before the reader reached it is skipped the same way.
+type Reader struct {
+	dir string
+	pos Pos
+
+	f    *os.File
+	fSeq uint64
+
+	lenBuf [4]byte
+	buf    []byte
+
+	skippedSegments uint64
+	skippedBytes    int64
+}
+
+// OpenReader creates a reader over the WAL in dir positioned at pos
+// (the zero Pos starts at the oldest retained record). The directory
+// need not exist yet; Next reports io.EOF until it does.
+func OpenReader(dir string, pos Pos) *Reader {
+	return &Reader{dir: dir, pos: pos}
+}
+
+// Pos returns the reader's current position: the next record returned
+// by Next decodes at exactly this position. Safe to persist and pass
+// back to OpenReader.
+func (r *Reader) Pos() Pos { return r.pos }
+
+// Skipped reports how much damage or pruning the reader has stepped
+// over: whole or partial segments bypassed, and the bytes they held.
+func (r *Reader) Skipped() (segments uint64, bytes int64) {
+	return r.skippedSegments, r.skippedBytes
+}
+
+// Close releases the reader's file handle. The reader may be reused;
+// the next Next reopens at the current position.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f, r.fSeq = nil, 0
+	return err
+}
+
+// Next decodes the next record into rec. It returns io.EOF at the live
+// tail (poll again later), and a typed decode error only for damage it
+// cannot route around (a damaged newest-segment header, which the
+// writer's Open repairs).
+func (r *Reader) Next(rec *Record) error {
+	for {
+		if err := r.ensureOpen(); err != nil {
+			return err
+		}
+		sealedErr := func() error {
+			// Undecodable bytes: in-flight append on the live segment,
+			// damage on a sealed one.
+			sealed, next, err := r.sealed()
+			if err != nil {
+				return err
+			}
+			if !sealed {
+				return io.EOF
+			}
+			r.skipTo(next)
+			return nil
+		}
+
+		// Frame length prefix.
+		n, err := r.f.ReadAt(r.lenBuf[:], r.pos.Off)
+		if n < len(r.lenBuf) {
+			if err != nil && !errors.Is(err, io.EOF) {
+				return fmt.Errorf("ingest: read segment %d: %w", r.fSeq, err)
+			}
+			if serr := sealedErr(); serr != nil {
+				return serr
+			}
+			continue
+		}
+		bodyLen := int(uint32(r.lenBuf[0]) | uint32(r.lenBuf[1])<<8 | uint32(r.lenBuf[2])<<16 | uint32(r.lenBuf[3])<<24)
+		frame := 4 + bodyLen + 4
+		if bodyLen < minBody || bodyLen > MaxRecordBytes-frameOverhead {
+			if serr := sealedErr(); serr != nil {
+				return serr
+			}
+			continue
+		}
+
+		// Whole frame.
+		if cap(r.buf) < frame {
+			r.buf = make([]byte, frame)
+		}
+		buf := r.buf[:frame]
+		n, err = r.f.ReadAt(buf, r.pos.Off)
+		if n < frame {
+			if err != nil && !errors.Is(err, io.EOF) {
+				return fmt.Errorf("ingest: read segment %d: %w", r.fSeq, err)
+			}
+			if serr := sealedErr(); serr != nil {
+				return serr
+			}
+			continue
+		}
+		decoded, consumed, err := DecodeRecord(buf)
+		if err != nil {
+			if serr := sealedErr(); serr != nil {
+				return serr
+			}
+			continue
+		}
+		*rec = decoded
+		r.pos.Off += int64(consumed)
+		return nil
+	}
+}
+
+// ensureOpen opens the segment at r.pos, advancing past pruned
+// segments, and validates its header. io.EOF means no segment to read
+// yet.
+func (r *Reader) ensureOpen() error {
+	if r.f != nil && r.fSeq == r.pos.Seg {
+		return nil
+	}
+	r.Close()
+	seqs, err := Segments(r.dir)
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return io.EOF
+	}
+	seq := r.pos.Seg
+	if seq == 0 {
+		seq = seqs[0]
+	}
+	if idx := sort0(seqs, seq); idx < 0 {
+		return io.EOF // positioned past the newest segment: wait for it
+	} else if seqs[idx] != seq {
+		// The positioned segment was pruned (or set aside as damaged):
+		// skip forward to the oldest survivor.
+		r.skippedSegments++
+		seq = seqs[idx]
+		r.pos = Pos{Seg: seq, Off: 0}
+	} else if r.pos.Seg == 0 {
+		r.pos = Pos{Seg: seq, Off: r.pos.Off}
+	}
+	f, err := os.Open(SegmentPath(r.dir, seq))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return io.EOF // pruned between listing and open; next call skips
+		}
+		return fmt.Errorf("ingest: open segment %d: %w", seq, err)
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		// A short header on the newest segment is a create still in
+		// flight; on a sealed one it is damage.
+		if sealed, next := r.sealedAfter(seqs, seq); sealed {
+			r.skippedSegments++
+			r.pos = Pos{Seg: next, Off: 0}
+			return r.ensureOpen()
+		}
+		return io.EOF
+	}
+	if err := checkHeader(hdr); err != nil {
+		f.Close()
+		if sealed, next := r.sealedAfter(seqs, seq); sealed {
+			r.skippedSegments++
+			r.pos = Pos{Seg: next, Off: 0}
+			return r.ensureOpen()
+		}
+		return fmt.Errorf("ingest: segment %d: %w", seq, err)
+	}
+	r.f, r.fSeq = f, seq
+	if r.pos.Off < int64(headerLen) {
+		r.pos.Off = int64(headerLen)
+	}
+	return nil
+}
+
+// sealed reports whether the currently open segment is sealed (a newer
+// segment exists) and, if so, the next segment to read.
+func (r *Reader) sealed() (bool, uint64, error) {
+	seqs, err := Segments(r.dir)
+	if err != nil {
+		return false, 0, err
+	}
+	ok, next := r.sealedAfter(seqs, r.fSeq)
+	return ok, next, nil
+}
+
+// sealedAfter finds the first listed segment newer than seq.
+func (r *Reader) sealedAfter(seqs []uint64, seq uint64) (bool, uint64) {
+	for _, s := range seqs {
+		if s > seq {
+			return true, s
+		}
+	}
+	return false, 0
+}
+
+// skipTo abandons the rest of the current segment as damaged and
+// repositions at the start of segment next.
+func (r *Reader) skipTo(next uint64) {
+	if st, err := r.f.Stat(); err == nil && st.Size() > r.pos.Off {
+		r.skippedBytes += st.Size() - r.pos.Off
+	}
+	r.Close()
+	r.pos = Pos{Seg: next, Off: 0}
+}
+
+// sort0 returns the index of the smallest element >= seq, or -1.
+func sort0(seqs []uint64, seq uint64) int {
+	for i, s := range seqs {
+		if s >= seq {
+			return i
+		}
+	}
+	return -1
+}

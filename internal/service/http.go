@@ -33,6 +33,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(s, w, r) })
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(s, w, r) })
 	mux.HandleFunc("/v1/admin/gc", func(w http.ResponseWriter, r *http.Request) { handleGC(s, w, r) })
+	mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) { handleIngest(s, w, r) })
 	return mux
 }
 
@@ -166,6 +167,31 @@ func handleGC(s *Service, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, gcResponse{Results: results})
 }
 
+// handleIngest accepts ground-truth feedback for a served statement
+// (POST /v1/ingest, the HTTP face of Service.Observe): the outcome is
+// appended to the node's ingest log, where the online pipeline's
+// trainers pick it up.
+func handleIngest(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Model == "" || req.Statement == "" {
+		httpError(w, http.StatusBadRequest, errors.New("model and statement required"))
+		return
+	}
+	if err := s.Observe(req.Model, req.Statement, req.Class, req.Value); err != nil {
+		httpError(w, StatusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{OK: true})
+}
+
 func handleStats(s *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
@@ -191,6 +217,10 @@ func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrNoIngest):
+		// Configuration, not transience: retrying the same node cannot
+		// help, and 4xx keeps the client from burning its retry budget.
+		return http.StatusBadRequest
 	case errors.Is(err, ErrNotDeployed):
 		return http.StatusConflict
 	case errors.Is(err, serve.ErrQueueFull):

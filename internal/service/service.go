@@ -32,9 +32,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -51,6 +53,11 @@ var ErrNotDeployed = errors.New("service: model not deployed")
 // wraps serve.ErrClosed so one errors.Is sentinel covers "closed"
 // at either layer (the facade exports exactly that).
 var ErrClosed = fmt.Errorf("service: closed: %w", serve.ErrClosed)
+
+// ErrNoIngest is returned by Observe on a service configured without
+// an ingest log (Options.Ingest nil). Transports map it onto 400: the
+// node cannot accept feedback, and retrying will not change that.
+var ErrNoIngest = errors.New("service: no ingest log configured")
 
 // Options configures a Service.
 type Options struct {
@@ -70,6 +77,17 @@ type Options struct {
 	// rest from memory and the store. Pruned version numbers are never
 	// reused. <= 0 keeps every version forever (the pre-GC behavior).
 	Retain int
+	// Ingest, when non-nil, is the durable request log: every Observe
+	// appends its ground-truth outcome, and successful predicts are
+	// sampled into it under IngestEvery. The log feeds the online
+	// fine-tune pipeline (internal/online) and workload replay.
+	Ingest *ingest.WAL
+	// IngestEvery samples every Nth successful predict into the ingest
+	// log (1 = every predict, 0 or negative = no predict sampling).
+	// Counter-based, so the sample is deterministic and the hot path
+	// stays allocation-free. Observe records are never sampled — ground
+	// truth is always logged.
+	IngestEvery int
 }
 
 // Admission policy names for DeployOptions and the HTTP API. The empty
@@ -230,6 +248,17 @@ type Service struct {
 	// boot is the completed warm boot's report, surfaced through
 	// /v1/healthz so a degraded (quarantining) boot is observable.
 	boot atomic.Pointer[BootReport]
+
+	// Ingest-log counters: the predict-sampling clock and the
+	// service-side view of what reached (or failed to reach) the log.
+	ingestN        atomic.Uint64
+	ingestSampled  atomic.Uint64
+	ingestObserved atomic.Uint64
+	ingestDropped  atomic.Uint64
+
+	// onlineStats, when set, supplies the online pipeline's per-model
+	// state for StatsSnapshot (SetOnlineStats).
+	onlineStats atomic.Pointer[func(model string) (OnlineStats, bool)]
 
 	mu      sync.RWMutex // guards entries map and closed
 	entries map[string]*entry
@@ -435,7 +464,11 @@ func (s *Service) PredictInto(ctx context.Context, name, stmt string, probs []fl
 			return Prediction{}, ErrNotDeployed
 		}
 		pr, err := predictOn(ctx, lp, e, stmt, probs)
-		if err == nil || !errors.Is(err, serve.ErrClosed) {
+		if err == nil {
+			s.sampleIngest(stmt, &pr)
+			return pr, nil
+		}
+		if !errors.Is(err, serve.ErrClosed) {
 			return pr, err
 		}
 		// The pool closed underneath us: a concurrent Deploy swapped it
@@ -483,7 +516,13 @@ func (s *Service) PredictBatch(ctx context.Context, name string, stmts []string)
 			return nil, ErrNotDeployed
 		}
 		out, err := predictBatchOn(ctx, lp, e, stmts)
-		if err == nil || !errors.Is(err, serve.ErrClosed) {
+		if err == nil {
+			for i := range out {
+				s.sampleIngest(stmts[i], &out[i])
+			}
+			return out, nil
+		}
+		if !errors.Is(err, serve.ErrClosed) {
 			return out, err
 		}
 		if e.live.Load() == lp {
@@ -541,6 +580,123 @@ func (s *Service) PredictRaw(ctx context.Context, name, stmt string) (float64, e
 		return 0, err
 	}
 	return pr.Raw, nil
+}
+
+// sampleIngest appends every IngestEvery-th successful prediction to
+// the ingest log as a Predicted record. Allocation-free: the counter
+// is atomic, the record is stack-built, and the WAL reuses its encode
+// buffer — the predict hot path's 0-alloc contract holds with sampling
+// enabled.
+func (s *Service) sampleIngest(stmt string, pr *Prediction) {
+	w := s.opts.Ingest
+	if w == nil || s.opts.IngestEvery <= 0 {
+		return
+	}
+	if s.ingestN.Add(1)%uint64(s.opts.IngestEvery) != 0 {
+		return
+	}
+	err := w.Append(ingest.Record{
+		Time:      time.Now().UnixNano(),
+		Kind:      ingest.Predicted,
+		Model:     pr.Name,
+		Statement: stmt,
+		Class:     int32(pr.Class),
+		Value:     pr.Log,
+	})
+	if err != nil {
+		s.ingestDropped.Add(1)
+		return
+	}
+	s.ingestSampled.Add(1)
+}
+
+// Observe appends a ground-truth outcome for a served statement to the
+// ingest log: the classification label in class, or the regression
+// label (raw units) in value. Observed records are what the online
+// pipeline fine-tunes and canary-gates on. The model must be
+// registered; the service must have an ingest log (ErrNoIngest
+// otherwise).
+func (s *Service) Observe(name, stmt string, class int, value float64) error {
+	if s.opts.Ingest == nil {
+		return ErrNoIngest
+	}
+	if _, err := s.entry(name); err != nil {
+		return err
+	}
+	err := s.opts.Ingest.Append(ingest.Record{
+		Time:      time.Now().UnixNano(),
+		Kind:      ingest.Observed,
+		Model:     name,
+		Statement: stmt,
+		Class:     int32(class),
+		Value:     value,
+	})
+	if err != nil {
+		s.ingestDropped.Add(1)
+		return fmt.Errorf("service: observe %q: %w", name, err)
+	}
+	s.ingestObserved.Add(1)
+	return nil
+}
+
+// LiveVersion returns name's live deployment: its version number and
+// the registry's immutable snapshot of it. The snapshot is shared —
+// callers must not mutate it (Snapshot or Replicate first). This is
+// the online trainer's handle on "what is serving right now".
+func (s *Service) LiveVersion(name string) (int, *core.Model, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	lp := e.live.Load()
+	if lp == nil {
+		return 0, nil, ErrNotDeployed
+	}
+	e.mu.Lock()
+	var m *core.Model
+	if lp.version >= 1 && lp.version <= len(e.versions) {
+		m = e.versions[lp.version-1]
+	}
+	e.mu.Unlock()
+	if m == nil {
+		return 0, nil, ErrNotDeployed
+	}
+	return lp.version, m, nil
+}
+
+// VersionModel returns the registry's immutable snapshot of a specific
+// registered version, or ErrNotFound if that version was never
+// registered, was quarantined, or has been GC-pruned. Like
+// LiveVersion's model, the snapshot is shared — callers must not
+// mutate it. The online pipeline's rollback watch uses this to score
+// the previous live version against the one it swapped in.
+func (s *Service) VersionModel(name string, version int) (*core.Model, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	var m *core.Model
+	if version >= 1 && version <= len(e.versions) {
+		m = e.versions[version-1]
+	}
+	e.mu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("%w: %q version %d", ErrNotFound, name, version)
+	}
+	return m, nil
+}
+
+// SetOnlineStats registers the online pipeline's per-model state
+// provider, surfaced through StatsSnapshot (and so through GET
+// /v1/stats and the wire stats reply on both transports). nil
+// unregisters.
+func (s *Service) SetOnlineStats(provider func(model string) (OnlineStats, bool)) {
+	if provider == nil {
+		s.onlineStats.Store(nil)
+		return
+	}
+	s.onlineStats.Store(&provider)
 }
 
 // Models lists every registered entry (sorted by name), reporting its

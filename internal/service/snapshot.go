@@ -16,6 +16,55 @@ type StatsSnapshot struct {
 	P50       string      `json:"p50"`
 	P99       string      `json:"p99"`
 	Stats     serve.Stats `json:"stats"`
+	// Online is the online-learning pipeline's state: service-wide
+	// ingest counters plus this model's trainer progress. Present only
+	// when the service has an ingest log or an online pipeline
+	// attached.
+	Online *OnlineStats `json:"online,omitempty"`
+}
+
+// OnlineStats is the online-learning pipeline's state as surfaced per
+// model through /v1/stats and the wire stats reply. The ingest
+// counters (Sampled, Observed, Dropped) are service-wide; the rest is
+// the named model's pipeline progress, supplied by the registered
+// provider (SetOnlineStats).
+type OnlineStats struct {
+	// Sampled counts predicts sampled into the ingest log; Observed
+	// counts ground-truth outcomes logged via Observe; Dropped counts
+	// append failures. All three are service-wide.
+	Sampled  uint64 `json:"sampled"`
+	Observed uint64 `json:"observed"`
+	Dropped  uint64 `json:"dropped,omitempty"`
+	// Consumed counts observed records the model's trainer has read;
+	// Windows counts fine-tune windows completed; Candidates counts
+	// versions fine-tuned and registered; Swaps, Rollbacks, and
+	// Rejected count the canary gate's decisions.
+	Consumed   uint64 `json:"consumed,omitempty"`
+	Windows    uint64 `json:"windows,omitempty"`
+	Candidates uint64 `json:"candidates,omitempty"`
+	Swaps      uint64 `json:"swaps,omitempty"`
+	Rollbacks  uint64 `json:"rollbacks,omitempty"`
+	Rejected   uint64 `json:"rejected,omitempty"`
+	// LastDecision is the gate's most recent decision line for this
+	// model ("" until the first window completes).
+	LastDecision string `json:"last_decision,omitempty"`
+}
+
+// IngestRequest is the feedback body shared by POST /v1/ingest and the
+// wire transport's MsgIngest payload: a served statement and its
+// observed ground-truth outcome (class for classification tasks, value
+// in raw units for regression tasks).
+type IngestRequest struct {
+	Model     string  `json:"model"`
+	Statement string  `json:"statement"`
+	Class     int     `json:"class,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+}
+
+// IngestResponse is the feedback acknowledgment shared by both
+// transports.
+type IngestResponse struct {
+	OK bool `json:"ok"`
 }
 
 // StatsSnapshot assembles the shared stats shape for name's live
@@ -25,10 +74,31 @@ func (s *Service) StatsSnapshot(name string) (StatsSnapshot, error) {
 	if err != nil {
 		return StatsSnapshot{}, err
 	}
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Info: info, Completed: st.Completed, Rejected: st.Rejected, Canceled: st.Canceled,
 		P50: st.P50.String(), P99: st.P99.String(), Stats: st,
-	}, nil
+	}
+	provider := s.onlineStats.Load()
+	if s.opts.Ingest != nil || provider != nil {
+		online := OnlineStats{
+			Sampled:  s.ingestSampled.Load(),
+			Observed: s.ingestObserved.Load(),
+			Dropped:  s.ingestDropped.Load(),
+		}
+		if provider != nil {
+			if ps, ok := (*provider)(name); ok {
+				online.Consumed = ps.Consumed
+				online.Windows = ps.Windows
+				online.Candidates = ps.Candidates
+				online.Swaps = ps.Swaps
+				online.Rollbacks = ps.Rollbacks
+				online.Rejected = ps.Rejected
+				online.LastDecision = ps.LastDecision
+			}
+		}
+		snap.Online = &online
+	}
+	return snap, nil
 }
 
 // DeployRequest is the deploy body shared by POST /v1/deploy and the

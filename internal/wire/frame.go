@@ -102,6 +102,10 @@ const (
 	// MsgGC runs the retention pass: empty payload; reply is a MsgJSON
 	// {"results": [...]}.
 	MsgGC MsgType = 0x07
+	// MsgIngest logs ground-truth feedback for a served statement: JSON
+	// payload matching the POST /v1/ingest body; reply is a MsgJSON
+	// service.IngestResponse.
+	MsgIngest MsgType = 0x08
 )
 
 // Reply message types (server → client).
@@ -121,7 +125,7 @@ const (
 
 // validType reports whether t is a known message type.
 func validType(t MsgType) bool {
-	return (t >= MsgPredict && t <= MsgGC) || (t >= MsgError && t <= MsgJSON)
+	return (t >= MsgPredict && t <= MsgIngest) || (t >= MsgError && t <= MsgJSON)
 }
 
 // String names the message type for logs and errors.
@@ -141,6 +145,8 @@ func (t MsgType) String() string {
 		return "deploy"
 	case MsgGC:
 		return "gc"
+	case MsgIngest:
+		return "ingest"
 	case MsgError:
 		return "error"
 	case MsgPredictReply:

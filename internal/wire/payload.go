@@ -174,6 +174,11 @@ func decodePredictReply(p []byte, pr *service.Prediction, probs []float64, inter
 		if d.err == nil && n > d.remaining()/8 {
 			d.fail()
 		}
+		if d.err == nil && cap(probs) < n {
+			// One right-sized grow instead of append doubling from nil —
+			// a bare Predict (no reused buffer) pays 1 alloc, not ~4.
+			probs = make([]float64, 0, n)
+		}
 		for i := 0; i < n && d.err == nil; i++ {
 			probs = append(probs, d.f64())
 		}

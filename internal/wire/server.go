@@ -304,6 +304,8 @@ func (s *Server) handle(j *job) {
 		s.handleDeploy(j)
 	case MsgGC:
 		s.handleGC(j)
+	case MsgIngest:
+		s.handleIngest(j)
 	default:
 		s.replyError(j, http.StatusBadRequest, fmt.Errorf("wire: unhandled request type %s", j.typ))
 	}
@@ -450,6 +452,23 @@ func (s *Server) handleGC(j *job) {
 		return
 	}
 	s.replyJSON(j, gcReply{Results: results})
+}
+
+func (s *Server) handleIngest(j *job) {
+	var req service.IngestRequest
+	if err := json.Unmarshal(j.in, &req); err != nil {
+		s.replyError(j, http.StatusBadRequest, err)
+		return
+	}
+	if req.Model == "" || req.Statement == "" {
+		s.replyError(j, http.StatusBadRequest, errors.New("wire: ingest: model and statement required"))
+		return
+	}
+	if err := s.svc.Observe(req.Model, req.Statement, req.Class, req.Value); err != nil {
+		s.replyError(j, service.StatusFor(err), err)
+		return
+	}
+	s.replyJSON(j, service.IngestResponse{OK: true})
 }
 
 // replyJSON answers a control-plane request (cold path; allocation is

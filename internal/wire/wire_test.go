@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/service"
 	"repro/internal/synth"
@@ -602,6 +603,57 @@ func TestZeroAllocLoopback(t *testing.T) {
 	// map rehash) but fail on any per-op allocation.
 	if allocs > 0.05 {
 		t.Errorf("warm loopback predict: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocLoopbackWithIngest extends the contract end to end
+// through the online-learning tap: with a WAL attached and every
+// served prediction sampled into it (IngestEvery=1), a warm predict
+// over the socket still allocates nothing — the sampling counter is
+// atomic, the record is stack-built, and the WAL reuses its encode
+// buffer.
+func TestZeroAllocLoopbackWithIngest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	wal, err := ingest.Open(t.TempDir(), ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	svc := service.New(service.Options{
+		Serve:  serve.Options{Replicas: 2},
+		Ingest: wal, IngestEvery: 1,
+	})
+	t.Cleanup(svc.Close)
+	if _, err := svc.Swap("errors", classModel()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, addr := startServer(t, svc, "tcp", ServerOptions{})
+	cl := testClient(t, "tcp", addr, ClientOptions{Conns: 1})
+
+	stmt := testStatements(1)[0]
+	var probs []float64
+	for i := 0; i < 200; i++ {
+		_, out, err := cl.PredictInto(ctx, "errors", stmt, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs = out
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		_, out, err := cl.PredictInto(ctx, "errors", stmt, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs = out
+	})
+	if allocs > 0.05 {
+		t.Errorf("warm loopback predict with ingest sampling: %.2f allocs/op, want 0", allocs)
+	}
+	if st := wal.Stats(); st.Appended < 500 {
+		t.Errorf("WAL got %d records, want every served predict (>= 500)", st.Appended)
 	}
 }
 

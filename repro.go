@@ -48,6 +48,8 @@ import (
 
 	"repro/client"
 	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/online"
 	"repro/internal/serve"
 	"repro/internal/service"
 	"repro/internal/sqlparse"
@@ -330,3 +332,41 @@ func Compress(items []Item, maxItems int) []Item {
 
 // Template normalizes a statement to its constant-free template.
 func Template(stmt string) string { return workload.Template(stmt) }
+
+// IngestWAL is the durable append-only log of served statements and
+// ground-truth feedback: segmented, CRC-checked records with torn-tail
+// recovery and retention pruning (package repro/internal/ingest). Hand
+// one to ServiceOptions.Ingest to sample served traffic into it and to
+// record Service.Observe feedback; hand the same directory to
+// StartOnline to learn from it.
+type IngestWAL = ingest.WAL
+
+// IngestOptions configures OpenIngest (segment size, retention,
+// per-append fsync). The zero value picks the defaults.
+type IngestOptions = ingest.Options
+
+// OpenIngest opens — creating if needed, and recovering any torn tail
+// from a crash — the ingest WAL in dir. This is what
+// `serviced -ingest-dir` uses.
+func OpenIngest(dir string, opts IngestOptions) (*IngestWAL, error) {
+	return ingest.Open(dir, opts)
+}
+
+// OnlinePipeline is the background online-learning loop: per model it
+// tails the ingest WAL for ground-truth feedback, fine-tunes a
+// candidate off the hot path, canaries it on held-out recent traffic,
+// deploys only gated improvements, and rolls back a swap whose live
+// metrics regress. All decisions are persisted in the Service's Store,
+// so they survive restarts and propagate through WarmBoot/SyncStore.
+// See package repro/internal/online.
+type OnlinePipeline = online.Pipeline
+
+// OnlineOptions configures StartOnline (window size, holdout fraction,
+// canary margin, fine-tune config).
+type OnlineOptions = online.Options
+
+// StartOnline launches the online-learning pipeline over a running
+// Service — what `serviced -online` runs.
+func StartOnline(opts OnlineOptions) (*OnlinePipeline, error) {
+	return online.Start(opts)
+}
